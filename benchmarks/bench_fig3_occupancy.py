@@ -1,0 +1,28 @@
+"""Fig. 3 — Auto-Cuckoo occupancy vs insertions under different MNK."""
+
+from repro.experiments import fig3_occupancy
+
+
+def test_fig3_occupancy(run_once):
+    result = run_once(fig3_occupancy.run, seed=1)
+    print("\n" + result.to_text())
+
+    milestones = result.data["milestones"]
+    curves = result.data["curves"]
+
+    # Paper: occupancy reaches 100 % — even MNK=2 by ~12.5 k insertions.
+    assert milestones[2]["100%"] is not None
+    assert milestones[2]["100%"] <= 14_000
+
+    # Paper: occupancy is not sensitive to MNK (identical below ~9 k).
+    at_8000 = [dict(curves[mnk])[8000] for mnk in (0, 1, 2, 4, 8)]
+    assert max(at_8000) - min(at_8000) < 0.08
+
+    # Monotone non-decreasing curves (autonomic deletion never shrinks
+    # occupancy).
+    for curve in curves.values():
+        occupancies = [occ for _, occ in curve]
+        assert occupancies == sorted(occupancies)
+
+    # Larger MNK converges at least as fast.
+    assert milestones[8]["100%"] <= milestones[0]["100%"]

@@ -1,0 +1,29 @@
+"""Fig. 4 — fingerprint-collision entry ratio vs fingerprint width."""
+
+from repro.experiments import fig4_collisions
+
+
+def test_fig4_collisions(run_once):
+    result = run_once(fig4_collisions.run, seed=1)
+    print("\n" + result.to_text())
+
+    rows = {row[0]: row for row in result.data["rows"]}
+
+    # Paper: the ratio decreases (roughly 4x) per +2 bits of f.
+    ratios = [rows[f][1] for f in (8, 10, 12)]
+    assert ratios[0] > ratios[1] > ratios[2]
+    assert ratios[0] / max(ratios[2], 1e-9) > 6
+
+    # Paper: f=12 keeps the ratio low (0.014 at 6 M inserts) with
+    # eps ~ 0.004; the scaled run must stay in the same decade.
+    assert rows[12][1] < 0.03
+    assert abs(rows[12][3] - 0.0039) < 0.0005
+
+    # Paper: entries with more than 2 collided addresses approach 0
+    # at f=12.
+    assert rows[12][2] < 0.002
+
+    # Measured ratio tracks the analytic bound within a small factor.
+    for f in (8, 10, 12):
+        measured, analytic = rows[f][1], rows[f][3]
+        assert 0.2 * analytic < measured < 5 * analytic + 1e-4

@@ -1,0 +1,36 @@
+"""Fig. 7 / §VI-B — brute-force and reverse-engineering filter attacks."""
+
+from repro.experiments import fig7_reverse
+
+
+def test_fig7_reverse(run_once):
+    result = run_once(fig7_reverse.run, seed=1)
+    print("\n" + result.to_text())
+
+    # Paper: brute force needs ≈ b·l fills (8192) — geometric noise
+    # allowed, same decade required.
+    brute_mean = result.data["brute_mean"]
+    assert 0.4 * 8192 < brute_mean < 2.5 * 8192
+
+    # Paper (Fig. 7 / §VI-B): with MNK=0 the crafted attack clearly
+    # beats brute force; autonomic deletion's randomness erases the
+    # advantage as MNK grows, converging the crafted attack to
+    # brute-force cost ("rendering it impractical").
+    targeted = result.data["targeted_means"]
+    # MNK=0: the crafted attack works — ~2b expected fills (b=4 here);
+    # allow Monte-Carlo slack up to 4b.
+    assert targeted[0] < 4 * 4
+    # MNK>=1: the advantage collapses by multiples, toward the
+    # brute-force class (b·l/2 = 32 for this geometry).
+    for mnk in (1, 2, 4):
+        assert targeted[mnk] > 1.3 * targeted[0], (mnk, targeted)
+
+    # Analytic: b**(MNK+1) at the paper's geometry crosses brute force
+    # exactly at MNK=4 — the design point.
+    headers, rows = result.tables[
+        "analytic eviction-set size at paper geometry (b=8)"
+    ]
+    by_mnk = {row[0]: row for row in rows}
+    assert by_mnk[4][1] == 32768
+    assert by_mnk[4][2] == "costlier"
+    assert by_mnk[3][2] == "cheaper"

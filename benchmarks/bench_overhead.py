@@ -1,0 +1,18 @@
+"""§VII-D — storage and area overhead."""
+
+import pytest
+
+from repro.experiments import overhead_table
+
+
+def test_overhead_table(run_once):
+    result = run_once(overhead_table.run)
+    print("\n" + result.to_text())
+
+    report = result.data["report"]
+    # Paper: 15 KB storage, 0.37 % of the 4 MB LLC.
+    assert report.filter_storage_kib == pytest.approx(15.0)
+    assert report.storage_overhead_pct == pytest.approx(0.37, abs=0.01)
+    # Paper: 0.013 mm² at 22 nm, ≈0.32 % of the LLC area.
+    assert report.filter_area_mm2 == pytest.approx(0.013, rel=0.05)
+    assert report.area_overhead_pct == pytest.approx(0.32, abs=0.06)

@@ -1,0 +1,27 @@
+"""§VII-C — security-threshold sensitivity."""
+
+from repro.experiments import secthr_sensitivity
+
+
+def test_secthr_sensitivity(run_once):
+    result = run_once(secthr_sensitivity.run, seed=0)
+    print("\n" + result.to_text())
+
+    means = result.data["means"]
+    # The paper's ordering claim (thr=3 marginally best) is a <0.1 %
+    # effect; the robust, reproducible claims are:
+    # (1) a lower threshold massively over-protects — false positives
+    #     grow steeply as secThr drops (the mechanism behind §VII-C);
+    headers, rows = result.tables["per mix"]
+    for row in rows:
+        fp1, fp2, fp3 = row[2], row[4], row[6]
+        assert fp1 >= fp2 >= fp3, row
+    heavy = [row for row in rows if row[2] > 50]
+    assert heavy, "at least one mix must show heavy thr=1 prefetching"
+    for row in heavy:
+        assert row[2] > 3 * max(row[6], 1.0), row
+    # (2) performance stays in the negligible band for every threshold,
+    #     and the thresholds are within noise of each other.
+    for value in means.values():
+        assert 0.99 < value < 1.01
+    assert max(means.values()) - min(means.values()) < 0.005

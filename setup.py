@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package can be installed in
+fully-offline environments that lack the ``wheel`` package, via::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro — a complete reproduction of *PiPoMonitor: Mitigating
+Cross-core Cache Attacks Using the Auto-Cuckoo Filter* (DATE 2021).
+
+Subpackages
+-----------
+``repro.filters``     the Auto-Cuckoo filter (the paper's contribution)
+                      and the classic Cuckoo filter baseline
+``repro.cache``       the quad-core inclusive MESI cache hierarchy
+``repro.memory``      DRAM + memory controller (PiPoMonitor's host)
+``repro.core``        PiPoMonitor and Table II as executable config
+``repro.cpu``         generator-driven cores + multicore scheduler
+``repro.workloads``   synthetic SPEC CPU2006 models, Table III mixes
+``repro.attacks``     Prime+Probe, victim, filter adversaries
+``repro.baselines``   prior-work defenses (table recorder, BITP)
+``repro.overhead``    storage accounting + CACTI-like area model
+``repro.experiments`` one harness per paper figure/table
+
+The most common entry points are re-exported here.
+"""
+
+from repro.core.config import (
+    FIG8_FILTER_SIZES,
+    FilterConfig,
+    SystemConfig,
+    TABLE_II,
+    TABLE_II_FILTER,
+)
+from repro.core.pipomonitor import MonitorStats, PiPoMonitor
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.filters.cuckoo import CuckooFilter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoCuckooFilter",
+    "CuckooFilter",
+    "FIG8_FILTER_SIZES",
+    "FilterConfig",
+    "MonitorStats",
+    "PiPoMonitor",
+    "SystemConfig",
+    "TABLE_II",
+    "TABLE_II_FILTER",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Attack framework.
+
+Cross-core Prime+Probe (Section VI-A): a square-and-multiply victim, an
+attacker probing the two secret-dependent instruction lines through
+eviction sets, and analysis utilities recovering the key from the probe
+timeline.
+
+Defense-aware filter adversaries (Section VI-B, Fig. 7): brute-force
+fills, targeted reverse-engineering fills, and the classic filter's
+false-deletion attack.
+"""
+
+from repro.attacks.analysis import (
+    KeyRecovery,
+    infer_bits_from_observations,
+    key_recovery,
+)
+from repro.attacks.evictionset import (
+    build_eviction_set,
+    reduce_eviction_set,
+)
+from repro.attacks.filter_attacks import (
+    BruteForceResult,
+    TargetedFillResult,
+    analytic_eviction_set_size,
+    brute_force_attack,
+    brute_force_expectation,
+    false_deletion_attack,
+    fill_to_capacity,
+    targeted_fill_attack,
+)
+from repro.attacks.primeprobe import (
+    AttackResult,
+    PrimeProbeAttacker,
+    ProbeObservation,
+    run_prime_probe_attack,
+)
+from repro.attacks.victim import SquareMultiplyVictim, random_key
+
+__all__ = [
+    "AttackResult",
+    "BruteForceResult",
+    "KeyRecovery",
+    "PrimeProbeAttacker",
+    "ProbeObservation",
+    "SquareMultiplyVictim",
+    "TargetedFillResult",
+    "analytic_eviction_set_size",
+    "brute_force_attack",
+    "brute_force_expectation",
+    "build_eviction_set",
+    "false_deletion_attack",
+    "fill_to_capacity",
+    "infer_bits_from_observations",
+    "key_recovery",
+    "random_key",
+    "reduce_eviction_set",
+    "run_prime_probe_attack",
+]

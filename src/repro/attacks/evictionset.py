@@ -1,0 +1,100 @@
+"""Eviction-set construction.
+
+Two tools:
+
+``build_eviction_set`` — the threat model of LLC Prime+Probe work
+(Liu et al., S&P'15) grants the attacker knowledge of the set/slice
+mapping; this constructs, by address arithmetic, attacker-owned lines
+congruent with a target line.
+
+``reduce_eviction_set`` — the classic group-testing reduction that
+shrinks a large candidate pool to a minimal eviction set using only an
+"does this set still evict?" oracle — for attackers *without* mapping
+knowledge.  Included because real attack campaigns build sets this way;
+the Fig. 6 experiment uses the arithmetic variant.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.cache.llc import SlicedLLC
+
+LINE = 64
+
+
+def build_eviction_set(
+    llc: SlicedLLC,
+    target_byte_address: int,
+    attacker_base_byte_address: int,
+    size: int | None = None,
+) -> list[int]:
+    """Return ``size`` attacker byte addresses congruent with the target.
+
+    ``size`` defaults to the LLC associativity (enough to fill the
+    set).  Addresses are drawn from the attacker's own region at
+    ``attacker_base_byte_address``, stepping one set-stride at a time
+    and keeping those that land in the target's slice.
+    """
+    if size is None:
+        size = llc.ways
+    if size < 1:
+        raise ValueError("eviction set size must be >= 1")
+    target_line = target_byte_address // LINE
+    base_line = attacker_base_byte_address // LINE
+    sets = llc.geometry.num_sets
+    # Align the candidate walk to the target's set index.
+    start = base_line - (base_line % sets) + (target_line % sets)
+    if start < base_line:
+        start += sets
+    addresses: list[int] = []
+    candidate = start
+    while len(addresses) < size:
+        if llc.congruent(candidate, target_line):
+            addresses.append(candidate * LINE)
+        candidate += sets
+    return addresses
+
+
+def reduce_eviction_set(
+    candidates: Sequence[int],
+    evicts: Callable[[Sequence[int]], bool],
+    associativity: int,
+) -> list[int]:
+    """Group-testing reduction to a minimal eviction set.
+
+    ``evicts(subset)`` must answer whether ``subset`` still evicts the
+    target.  Standard algorithm: while the set is larger than the
+    associativity, split it into ``associativity + 1`` groups; at least
+    one group is redundant (the remaining groups still contain a full
+    congruent set), so drop the first such group and repeat.
+
+    Runs in O(a·n) oracle calls.  Raises ``ValueError`` when the full
+    candidate pool does not evict (no reduction possible).
+    """
+    if associativity < 1:
+        raise ValueError("associativity must be >= 1")
+    working = list(candidates)
+    if not evicts(working):
+        raise ValueError("candidate pool does not evict the target")
+    while len(working) > associativity:
+        # Exactly a+1 (round-robin) groups: with at most `associativity`
+        # truly-congruent lines, the pigeonhole principle guarantees
+        # one group is free of them and therefore droppable.
+        group_count = associativity + 1
+        groups = [working[i::group_count] for i in range(group_count)]
+        for index, group in enumerate(groups):
+            rest = [
+                addr
+                for other_index, other in enumerate(groups)
+                if other_index != index
+                for addr in other
+            ]
+            if evicts(rest):
+                working = rest
+                break
+        else:
+            # No single group is droppable: the pool is already minimal
+            # at this granularity.
+            break
+    return working

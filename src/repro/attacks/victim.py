@@ -1,0 +1,111 @@
+"""The victim: GnuPG-1.4.13-style Square-and-Multiply exponentiation.
+
+Section VI-A: "The algorithm processes the key iteratively from high to
+low bits, one bit in each iteration.  If the bit is 1, square and
+multiply performed; otherwise, only multiply performed.  The sequence of
+above operations indirectly expose the key."
+
+The side channel is *which instruction cache lines execute*: the entry
+lines of the ``square`` and ``multiply`` routines.  The victim model
+emits exactly that line-touch sequence, paced so one key bit is
+processed per attacker probe interval.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import OP_IFETCH
+from repro.cpu.core import WorkloadGenerator
+from repro.utils.rng import derive_rng
+from repro.workloads.base import Workload, core_code_base
+
+LINE = 64
+
+#: Byte offsets of the two monitored routine entry points inside the
+#: victim's code region.  Separated by many lines so they never share a
+#: cache line and land in different LLC sets.
+SQUARE_OFFSET = 0x0
+MULTIPLY_OFFSET = 0x1000
+
+
+def random_key(bits: int, seed: int) -> list[int]:
+    """A reproducible random key as a list of 0/1 bits (MSB first)."""
+    if bits < 1:
+        raise ValueError("key must have at least one bit")
+    rng = derive_rng(seed, "victim-key")
+    return [rng.randrange(2) for _ in range(bits)]
+
+
+class SquareMultiplyVictim(Workload):
+    """Runs the exponentiation loop over ``key``, repeatedly.
+
+    Parameters
+    ----------
+    key:
+        The secret bit sequence (MSB first).
+    iteration_cycles:
+        Compute cycles per key bit; the paper's attacker probes every
+        5000 cycles, so the default paces one bit per probe.
+    repetitions:
+        How many times to run the whole key (GnuPG decrypts many
+        blocks; the attacker needs only one pass here).
+    """
+
+    name = "square-multiply-victim"
+
+    def __init__(
+        self,
+        key: list[int],
+        iteration_cycles: int = 5000,
+        repetitions: int = 4,
+    ):
+        if not key or any(bit not in (0, 1) for bit in key):
+            raise ValueError("key must be a non-empty list of 0/1 bits")
+        if iteration_cycles < 1:
+            raise ValueError("iteration_cycles must be >= 1")
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        self.key = list(key)
+        self.iteration_cycles = iteration_cycles
+        self.repetitions = repetitions
+
+    def square_address(self, core_id: int) -> int:
+        """Byte address of the ``square`` routine's entry line."""
+        return core_code_base(core_id) + SQUARE_OFFSET
+
+    def multiply_address(self, core_id: int) -> int:
+        """Byte address of the ``multiply`` routine's entry line."""
+        return core_code_base(core_id) + MULTIPLY_OFFSET
+
+    def generator(self, core_id: int, seed: int) -> WorkloadGenerator:
+        square = self.square_address(core_id)
+        multiply = self.multiply_address(core_id)
+        # Self-clocked pacing: the victim aims each iteration's fetches
+        # at the middle of its window (i·P + P/2) by tracking elapsed
+        # compute plus observed fetch latencies.  Without the
+        # correction, miss latencies accumulate into multi-iteration
+        # drift against the attacker's probe schedule.
+        clock = 0
+        iteration = 0
+        for _ in range(self.repetitions):
+            for bit in self.key:
+                target_time = iteration * self.iteration_cycles + (
+                    self.iteration_cycles // 2
+                )
+                gap = target_time - clock
+                if gap > 0:
+                    yield gap, None, 0
+                    clock += gap
+                if bit:
+                    clock += yield 0, OP_IFETCH, square
+                clock += yield 0, OP_IFETCH, multiply
+                iteration += 1
+
+    def ground_truth(self, iterations: int) -> list[int]:
+        """The bit processed in each of the first ``iterations``
+        iterations (key repeated cyclically)."""
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        bits = []
+        while len(bits) < iterations:
+            bits.extend(self.key)
+        return bits[:iterations]

@@ -1,0 +1,22 @@
+"""Prior-work defenses PiPoMonitor is compared against (Section VIII).
+
+``TableRecorder`` — the earlier *stateful* approach ([5] DATE'20 /
+[6] CacheGuard): a set-associative table recording full line addresses
+with re-access counters.  Same capture/prefetch protocol as
+PiPoMonitor, but an order of magnitude more storage per tracked line
+and deterministically reverse-engineerable (the table's indexing is a
+plain address hash, so an attacker can evict a chosen record in linear
+time).
+
+``BitpPrefetcher`` — the *stateless* approach (BITP, PACT'19):
+prefetch every back-invalidated line, no recording structure at all;
+pays with false positives on every benign inclusion victim.
+"""
+
+from repro.baselines.bitp import BitpPrefetcher
+from repro.baselines.table_recorder import (
+    TableRecorder,
+    table_eviction_attack,
+)
+
+__all__ = ["BitpPrefetcher", "TableRecorder", "table_eviction_attack"]

@@ -1,0 +1,71 @@
+"""BITP-style stateless back-invalidation prefetcher (Panda, PACT'19).
+
+No recording structure: whenever an LLC eviction back-invalidates a
+line out of some core's private cache, prefetch that line straight
+back.  Catches the attacker-induced evictions PiPoMonitor catches, but
+also fires on every *benign* inclusion victim — the high-false-positive
+behaviour Section I and Section VIII attribute to stateless schemes.
+
+Plugs into the hierarchy's monitor port.  Prefetches are issued
+untagged (the scheme keeps no per-line state, so there is nothing to
+tag or gate — repeated eviction of the same line keeps prefetching).
+"""
+
+from __future__ import annotations
+
+from repro.cache.line import CacheLine
+from repro.core.pipomonitor import MonitorStats
+from repro.utils.events import EventQueue
+
+
+class BitpPrefetcher:
+    """Prefetch every back-invalidated line after a short delay."""
+
+    def __init__(self, events: EventQueue, prefetch_delay: int = 40):
+        if prefetch_delay < 0:
+            raise ValueError("prefetch_delay must be non-negative")
+        self.events = events
+        self.prefetch_delay = prefetch_delay
+        self.stats = MonitorStats()
+        self.hierarchy = None
+
+    def attach(self, hierarchy) -> None:
+        self.hierarchy = hierarchy
+        hierarchy.monitor = self
+
+    # ------------------------------------------------------------------
+    # Monitor protocol
+    # ------------------------------------------------------------------
+
+    def on_access(self, line_addr: int, now: int) -> bool:
+        """Stateless: nothing is recorded, nothing is ever captured."""
+        self.stats.accesses += 1
+        return False
+
+    def on_llc_eviction(self, line: CacheLine, now: int) -> None:
+        """Prefetch iff the eviction back-invalidated a private copy."""
+        if line.sharers == 0:
+            return
+        self.stats.pevicts += 1
+        self.stats.prefetches_scheduled += 1
+        line_addr = line.addr
+        fire_at = now + self.prefetch_delay
+        self.events.schedule(
+            fire_at,
+            lambda: self._fire_prefetch(line_addr, fire_at),
+            label=f"bitp-prefetch:{line_addr:#x}",
+        )
+
+    def _fire_prefetch(self, line_addr: int, now: int) -> None:
+        if self.hierarchy is None:
+            raise RuntimeError("BITP not attached to a hierarchy")
+        if self.hierarchy.prefetch_fill(line_addr, now, tag=False):
+            self.stats.prefetches_issued += 1
+        else:
+            self.stats.prefetches_redundant += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"BitpPrefetcher(delay={self.prefetch_delay}, "
+            f"prefetches={self.stats.prefetches_issued})"
+        )

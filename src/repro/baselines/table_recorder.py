@@ -1,0 +1,181 @@
+"""Stateful table-based Ping-Pong recorder (the prior-work baseline).
+
+Models the recording structure of Wang et al. [5][6]: a set-associative
+table indexed by line address, each entry holding the full address tag
+and a saturating re-access counter.  Drop-in replacement for
+PiPoMonitor at the hierarchy's monitor port (same hooks, same
+capture/tag/pEvict/prefetch protocol) so experiments can swap defenses
+and compare:
+
+* **storage** — full tags instead of fingerprints: `storage_bits`
+  quantifies the gap the paper's 0.37 % claim is measured against;
+* **reverse engineering** — table indexing is deterministic, so an
+  adversary evicts a chosen record with exactly ``ways`` crafted
+  insertions (:func:`table_eviction_attack`), no b**(MNK+1) wall.
+"""
+
+from __future__ import annotations
+
+from repro.cache.line import CacheLine
+from repro.core.pipomonitor import MonitorStats
+from repro.utils.bitops import is_power_of_two, log2_exact, mix64
+from repro.utils.events import EventQueue
+
+#: Physical line-address width assumed for tag sizing (46-bit physical
+#: addresses, 64-byte lines).
+DEFAULT_LINE_ADDRESS_BITS = 40
+
+_INDEX_SALT = 0x7AB1E
+
+
+class TableRecorder:
+    """Set-associative full-address recorder with LRU replacement."""
+
+    def __init__(
+        self,
+        events: EventQueue,
+        num_sets: int = 1024,
+        ways: int = 8,
+        security_threshold: int = 3,
+        prefetch_delay: int = 1500,
+        line_address_bits: int = DEFAULT_LINE_ADDRESS_BITS,
+    ):
+        if not is_power_of_two(num_sets):
+            raise ValueError("num_sets must be a power of two")
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        if security_threshold < 1:
+            raise ValueError("security_threshold must be >= 1")
+        self.events = events
+        self.num_sets = num_sets
+        self.ways = ways
+        self.security_threshold = security_threshold
+        self.prefetch_delay = prefetch_delay
+        self.line_address_bits = line_address_bits
+        # Each set: line_addr -> [counter, lru_stamp].
+        self._sets: list[dict[int, list[int]]] = [{} for _ in range(num_sets)]
+        self._stamp = 0
+        self.stats = MonitorStats()
+        self.hierarchy = None
+
+    def attach(self, hierarchy) -> None:
+        self.hierarchy = hierarchy
+        hierarchy.monitor = self
+
+    # ------------------------------------------------------------------
+    # Table mechanics (public so the reverse attack can target them)
+    # ------------------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        """Deterministic table index — the reverse-attack surface."""
+        return mix64(line_addr, salt=_INDEX_SALT) & (self.num_sets - 1)
+
+    def holds_address(self, line_addr: int) -> bool:
+        """Exact membership (full tags — no fingerprint ambiguity)."""
+        return line_addr in self._sets[self.set_index(line_addr)]
+
+    def security_of(self, line_addr: int) -> int | None:
+        entry = self._sets[self.set_index(line_addr)].get(line_addr)
+        return entry[0] if entry is not None else None
+
+    @property
+    def capacity(self) -> int:
+        return self.num_sets * self.ways
+
+    def valid_count(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def storage_bits(self) -> int:
+        """Tag + counter + valid + LRU bits per entry.
+
+        Full-address tags are what the fingerprint scheme saves: a
+        Table-II-sized recorder needs tag bits for the whole line
+        address (the table index is hashed, so it cannot be recovered
+        from the position — prior-work directory extensions store the
+        full address or piggyback on an already-large directory).
+        """
+        counter_bits = 2
+        valid_bits = 1
+        lru_bits = max(1, log2_exact(self.ways) if is_power_of_two(self.ways) else self.ways)
+        per_entry = self.line_address_bits + counter_bits + valid_bits + lru_bits
+        return self.capacity * per_entry
+
+    # ------------------------------------------------------------------
+    # Monitor protocol (same contract as PiPoMonitor)
+    # ------------------------------------------------------------------
+
+    def on_access(self, line_addr: int, now: int) -> bool:
+        self.stats.accesses += 1
+        table_set = self._sets[self.set_index(line_addr)]
+        self._stamp += 1
+        entry = table_set.get(line_addr)
+        if entry is not None:
+            if entry[0] < self.security_threshold:
+                entry[0] += 1
+            entry[1] = self._stamp
+            if entry[0] >= self.security_threshold:
+                self.stats.captures += 1
+                return True
+            return False
+        if len(table_set) >= self.ways:
+            victim = min(table_set, key=lambda addr: table_set[addr][1])
+            del table_set[victim]
+        table_set[line_addr] = [0, self._stamp]
+        return False
+
+    def on_llc_eviction(self, line: CacheLine, now: int) -> None:
+        if not line.pingpong:
+            return
+        if not line.accessed:
+            self.stats.suppressed_unaccessed += 1
+            return
+        self.stats.pevicts += 1
+        self.stats.prefetches_scheduled += 1
+        line_addr = line.addr
+        fire_at = now + self.prefetch_delay
+        self.events.schedule(
+            fire_at,
+            lambda: self._fire_prefetch(line_addr, fire_at),
+            label=f"table-prefetch:{line_addr:#x}",
+        )
+
+    def _fire_prefetch(self, line_addr: int, now: int) -> None:
+        if self.hierarchy is None:
+            raise RuntimeError("recorder not attached to a hierarchy")
+        if self.hierarchy.prefetch_fill(line_addr, now):
+            self.stats.prefetches_issued += 1
+        else:
+            self.stats.prefetches_redundant += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"TableRecorder({self.num_sets}x{self.ways}, "
+            f"storage={self.storage_bits() / 8 / 1024:.1f} KiB)"
+        )
+
+
+def table_eviction_attack(
+    recorder: TableRecorder,
+    target: int,
+    seed_base: int = 0x0A77_0000,
+) -> int:
+    """Deterministically evict ``target``'s record from the table.
+
+    The adversary crafts ``ways`` addresses mapping to the target's set
+    (a linear search over candidate addresses — the index function is
+    public/reverse-engineered) and inserts them; LRU then guarantees
+    the target's record is gone.  Returns the number of crafted
+    insertions (== ways).  Contrast with the Auto-Cuckoo filter, where
+    the same goal needs b**(MNK+1) addresses (Fig. 7).
+    """
+    target_set = recorder.set_index(target)
+    inserted = 0
+    candidate = seed_base
+    while inserted < recorder.ways:
+        candidate += 1
+        if candidate == target:
+            continue
+        if recorder.set_index(candidate) == target_set:
+            recorder.on_access(candidate, now=0)
+            inserted += 1
+    return inserted

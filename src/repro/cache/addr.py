@@ -1,0 +1,41 @@
+"""Physical address decomposition.
+
+All caches in the hierarchy index with the same 64-byte line size
+(Table II implies the usual 64 B lines).  The mapper converts byte
+addresses to line addresses and extracts set indices; the LLC
+additionally hashes line addresses onto slices (``SlicedLLC``).
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import is_power_of_two, log2_exact
+
+DEFAULT_LINE_SIZE = 64
+
+
+class AddressMapper:
+    """Byte-address → (line address, set index) arithmetic."""
+
+    def __init__(self, line_size: int = DEFAULT_LINE_SIZE):
+        if not is_power_of_two(line_size):
+            raise ValueError("line size must be a power of two")
+        self.line_size = line_size
+        self.line_bits = log2_exact(line_size)
+
+    def line_address(self, byte_address: int) -> int:
+        """Strip the intra-line offset."""
+        if byte_address < 0:
+            raise ValueError("addresses must be non-negative")
+        return byte_address >> self.line_bits
+
+    def byte_address(self, line_address: int) -> int:
+        """First byte of a line (inverse of :meth:`line_address`)."""
+        return line_address << self.line_bits
+
+    def set_index(self, line_address: int, num_sets: int) -> int:
+        """Low-order line-address bits select the set."""
+        return line_address & (num_sets - 1)
+
+    def offset(self, byte_address: int) -> int:
+        """Intra-line byte offset."""
+        return byte_address & (self.line_size - 1)

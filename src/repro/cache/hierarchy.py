@@ -1,0 +1,540 @@
+"""The quad-core inclusive cache hierarchy (Table II).
+
+Structure per core: private L1I + L1D (64 KB, 4-way, 2 cycles) and a
+private L2 (256 KB, 8-way, 18 cycles), both inclusive; a shared sliced
+LLC (4 MB, 16-way, 35 cycles) inclusive of everything; DRAM behind a
+memory controller (200 cycles).  Coherence is MESI with the directory
+embedded in the LLC (``CacheLine.sharers`` presence bitmask).
+
+An access walks down the levels; the returned latency is the sum of the
+lookup latencies of every level visited plus memory time, mirroring a
+blocking in-order load.  All *policy* decisions of the hierarchy —
+inclusion victims (back-invalidation), dirty forwarding, upgrades,
+writebacks — happen here, in one place, so they can be tested directly.
+
+PiPoMonitor (or any baseline defense) plugs in as ``monitor`` with two
+hooks:
+
+* ``on_access(line_addr, now) -> bool`` — called for every *demand*
+  fetch that reaches memory; the return value tags the filled LLC line
+  as Ping-Pong (the paper's capture path).
+* ``on_llc_eviction(line, now)``       — called when a tagged line is
+  evicted from the LLC (the paper's pEvict message).
+
+The monitor prefetches by calling :meth:`CacheHierarchy.prefetch_fill`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.addr import AddressMapper
+from repro.cache.coherence import (
+    EXCLUSIVE,
+    MODIFIED,
+    SHARED,
+    CoherenceViolation,
+    check_mesi_invariants,
+)
+from repro.cache.line import CacheLine
+from repro.cache.llc import SlicedLLC
+from repro.cache.set_assoc import CacheGeometry, SetAssociativeCache
+from repro.memory.controller import MemoryController
+
+#: Memory operation kinds.
+OP_READ = 0
+OP_WRITE = 1
+OP_IFETCH = 2
+
+#: Table II latencies (cycles).
+DEFAULT_L1_LATENCY = 2
+DEFAULT_L2_LATENCY = 18
+DEFAULT_LLC_LATENCY = 35
+
+
+@dataclass
+class AccessStats:
+    """Aggregate hierarchy counters (one instance per hierarchy)."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    ifetches: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    llc_evictions: int = 0
+    l2_evictions: int = 0
+    back_invalidations: int = 0
+    writebacks_to_memory: int = 0
+    upgrades: int = 0
+    dirty_forwards: int = 0
+    prefetch_fills: int = 0
+    prefetch_skipped: int = 0
+    total_latency: int = 0
+    per_core_accesses: dict[int, int] = field(default_factory=dict)
+
+    def record_access(self, core: int, op: int, latency: int) -> None:
+        self.accesses += 1
+        self.total_latency += latency
+        if op == OP_WRITE:
+            self.writes += 1
+        elif op == OP_IFETCH:
+            self.ifetches += 1
+        else:
+            self.reads += 1
+        self.per_core_accesses[core] = self.per_core_accesses.get(core, 0) + 1
+
+    @property
+    def average_latency(self) -> float:
+        return self.total_latency / self.accesses if self.accesses else 0.0
+
+    @property
+    def llc_miss_rate(self) -> float:
+        total = self.llc_hits + self.llc_misses
+        return self.llc_misses / total if total else 0.0
+
+
+class CacheHierarchy:
+    """Quad-core (configurable) inclusive MESI hierarchy."""
+
+    def __init__(
+        self,
+        num_cores: int = 4,
+        l1_geometry: CacheGeometry | None = None,
+        l2_geometry: CacheGeometry | None = None,
+        llc: SlicedLLC | None = None,
+        mc: MemoryController | None = None,
+        l1_latency: int = DEFAULT_L1_LATENCY,
+        l2_latency: int = DEFAULT_L2_LATENCY,
+        llc_latency: int = DEFAULT_LLC_LATENCY,
+        dirty_forward_penalty: int | None = None,
+        monitor=None,
+        seed: int = 0,
+    ):
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.num_cores = num_cores
+        self.mapper = AddressMapper()
+        l1_geometry = l1_geometry or CacheGeometry(64 * 1024, 4)
+        l2_geometry = l2_geometry or CacheGeometry(256 * 1024, 8)
+        self.l1d = [
+            SetAssociativeCache(l1_geometry, seed=seed + c, name=f"l1d{c}")
+            for c in range(num_cores)
+        ]
+        self.l1i = [
+            SetAssociativeCache(l1_geometry, seed=seed + 64 + c, name=f"l1i{c}")
+            for c in range(num_cores)
+        ]
+        self.l2 = [
+            SetAssociativeCache(l2_geometry, seed=seed + 128 + c, name=f"l2_{c}")
+            for c in range(num_cores)
+        ]
+        self.llc = llc if llc is not None else SlicedLLC(seed=seed)
+        self.mc = mc if mc is not None else MemoryController()
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.llc_latency = llc_latency
+        self.dirty_forward_penalty = (
+            dirty_forward_penalty
+            if dirty_forward_penalty is not None
+            else llc_latency
+        )
+        self.monitor = monitor
+        self.stats = AccessStats()
+        self._memory_versions: dict[int, int] = {}
+        self._write_counter = 0
+
+    # ------------------------------------------------------------------
+    # The demand access path
+    # ------------------------------------------------------------------
+
+    def access(self, core: int, op: int, addr: int, now: int = 0) -> int:
+        """Perform one memory operation; return its latency in cycles."""
+        line_addr = addr >> self.mapper.line_bits
+        l1 = self.l1i[core] if op == OP_IFETCH else self.l1d[core]
+        l2 = self.l2[core]
+        latency = self.l1_latency
+
+        # ---- L1 ----
+        line = l1.lookup(line_addr)
+        if line is not None:
+            l1.hits += 1
+            self.stats.l1_hits += 1
+            if op == OP_WRITE:
+                latency += self._write_hit(core, line_addr, line)
+                self._mark_written(core, op, line_addr)
+            l1.touch(line)
+            self.stats.record_access(core, op, latency)
+            return latency
+        l1.misses += 1
+        self.stats.l1_misses += 1
+
+        # ---- L2 ----
+        latency += self.l2_latency
+        l2line = l2.lookup(line_addr)
+        if l2line is not None:
+            l2.hits += 1
+            self.stats.l2_hits += 1
+            if op == OP_WRITE:
+                latency += self._write_hit(core, line_addr, l2line)
+            self._fill_l1(core, l1, line_addr, l2line.state, l2line.version, now)
+            if op == OP_WRITE:
+                self._mark_written(core, op, line_addr)
+            l2.touch(l2line)
+            self.stats.record_access(core, op, latency)
+            return latency
+        l2.misses += 1
+        self.stats.l2_misses += 1
+
+        # ---- LLC ----
+        latency += self.llc_latency
+        llc_line = self.llc.lookup(line_addr)
+        if llc_line is not None:
+            self.stats.llc_hits += 1
+            latency += self._serve_llc_hit(core, op, llc_line, now)
+            self.stats.record_access(core, op, latency)
+            return latency
+        self.stats.llc_misses += 1
+
+        # ---- Memory ----
+        mem_latency, llc_line = self._fetch_into_llc(
+            line_addr, now + latency, demand=True
+        )
+        latency += mem_latency
+        state = MODIFIED if op == OP_WRITE else EXCLUSIVE
+        self._fill_private(core, op, line_addr, state, llc_line, now)
+        if op == OP_WRITE:
+            self._mark_written(core, op, line_addr)
+        self.stats.record_access(core, op, latency)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Write handling
+    # ------------------------------------------------------------------
+
+    def _write_hit(self, core: int, line_addr: int, line: CacheLine) -> int:
+        """Handle a write hitting a private line; return extra latency.
+
+        Callers must invoke :meth:`_mark_written` once the L1 copy is
+        resident (on the L2-hit path the L1 fill happens afterwards).
+        """
+        extra = 0
+        if line.state == SHARED:
+            # S→M upgrade: a directory round trip invalidates the other
+            # sharers.
+            extra = self.llc_latency
+            self.stats.upgrades += 1
+            llc_line = self.llc.lookup(line_addr)
+            if llc_line is None:
+                raise CoherenceViolation(
+                    f"inclusion broken: private line {line_addr:#x} "
+                    "absent from LLC during upgrade"
+                )
+            self._invalidate_other_sharers(core, llc_line)
+            if llc_line.pingpong:
+                llc_line.accessed = True
+        # E→M is silent.
+        self._set_core_state(core, line_addr, MODIFIED)
+        return extra
+
+    def _mark_written(self, core: int, op: int, line_addr: int) -> None:
+        """Stamp the core's L1 copy with a fresh write version."""
+        self._write_counter += 1
+        l1 = self.l1i[core] if op == OP_IFETCH else self.l1d[core]
+        line = l1.lookup(line_addr)
+        if line is not None:
+            line.version = self._write_counter
+            line.dirty = True
+
+    # ------------------------------------------------------------------
+    # LLC hit service (coherence actions)
+    # ------------------------------------------------------------------
+
+    def _serve_llc_hit(
+        self, core: int, op: int, llc_line: CacheLine, now: int
+    ) -> int:
+        line_addr = llc_line.addr
+        penalty = 0
+        others = llc_line.sharers & ~(1 << core)
+        if others:
+            # Flush/demote any M/E copy held elsewhere.
+            for other in _decode_bits(others):
+                if self._flush_core_line(other, line_addr, llc_line):
+                    penalty += self.dirty_forward_penalty
+                    self.stats.dirty_forwards += 1
+        if op == OP_WRITE:
+            if others:
+                self._invalidate_other_sharers(core, llc_line)
+            state = MODIFIED
+        else:
+            state = SHARED if others else EXCLUSIVE
+        if llc_line.pingpong:
+            llc_line.accessed = True
+        self._fill_private(core, op, line_addr, state, llc_line, now)
+        if op == OP_WRITE:
+            self._mark_written(core, op, line_addr)
+        self.llc.touch(llc_line)
+        return penalty
+
+    def _flush_core_line(
+        self, core: int, line_addr: int, llc_line: CacheLine
+    ) -> bool:
+        """Demote ``core``'s copies to SHARED, merging dirty data into
+        the LLC line.  Returns True when dirty data was forwarded.
+
+        The forwarded data also refreshes the core's *own* outer copies
+        (a dirty L1 line implies a stale L2 copy; hardware writes the
+        snooped data through, otherwise a later L1 eviction would
+        resurrect stale L2 data).
+        """
+        copies = []
+        newest = llc_line.version
+        forwarded = False
+        for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
+            line = cache.lookup(line_addr)
+            if line is None:
+                continue
+            copies.append(line)
+            if line.dirty:
+                if line.version > newest:
+                    newest = line.version
+                llc_line.dirty = True
+                line.dirty = False
+                forwarded = True
+        llc_line.version = newest
+        for line in copies:
+            line.version = newest
+            line.state = SHARED
+        return forwarded
+
+    def _invalidate_other_sharers(self, core: int, llc_line: CacheLine) -> None:
+        """Remove every other core's private copies of the line."""
+        line_addr = llc_line.addr
+        for other in _decode_bits(llc_line.sharers & ~(1 << core)):
+            self._remove_core_copies(other, line_addr, llc_line)
+        llc_line.sharers &= 1 << core
+
+    def _remove_core_copies(
+        self, core: int, line_addr: int, merge_into: CacheLine | None
+    ) -> None:
+        """Drop a line from all private levels of ``core``; dirty data
+        merges into ``merge_into`` when given."""
+        for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
+            line = cache.remove(line_addr)
+            if line is not None and line.dirty and merge_into is not None:
+                if line.version > merge_into.version:
+                    merge_into.version = line.version
+                merge_into.dirty = True
+
+    def _set_core_state(self, core: int, line_addr: int, state: int) -> None:
+        for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
+            line = cache.lookup(line_addr)
+            if line is not None:
+                line.state = state
+
+    # ------------------------------------------------------------------
+    # Fills
+    # ------------------------------------------------------------------
+
+    def _fill_private(
+        self, core: int, op: int, line_addr: int, state: int,
+        llc_line: CacheLine, now: int,
+    ) -> None:
+        l2 = self.l2[core]
+        l2line = l2.lookup(line_addr)
+        if l2line is None:
+            l2line, victim = l2.insert(line_addr, version=llc_line.version)
+            if victim is not None:
+                self._handle_l2_eviction(core, victim, now)
+        l2line.state = state
+        l1 = self.l1i[core] if op == OP_IFETCH else self.l1d[core]
+        self._fill_l1(core, l1, line_addr, state, l2line.version, now)
+        llc_line.sharers |= 1 << core
+
+    def _fill_l1(
+        self, core: int, l1: SetAssociativeCache, line_addr: int,
+        state: int, version: int, now: int,
+    ) -> None:
+        l1line = l1.lookup(line_addr)
+        if l1line is None:
+            l1line, victim = l1.insert(line_addr, version=version)
+            if victim is not None and victim.dirty:
+                # Writeback into the L2 copy (present by inclusion).
+                l2line = self.l2[core].lookup(victim.addr)
+                if l2line is not None:
+                    if victim.version > l2line.version:
+                        l2line.version = victim.version
+                    l2line.dirty = True
+        l1line.state = state
+
+    def _handle_l2_eviction(self, core: int, victim: CacheLine, now: int) -> None:
+        """An L2 inclusion victim: purge L1 copies, write back to LLC,
+        release the directory presence bit."""
+        self.stats.l2_evictions += 1
+        line_addr = victim.addr
+        for l1 in (self.l1d[core], self.l1i[core]):
+            l1line = l1.remove(line_addr)
+            if l1line is not None and l1line.dirty:
+                if l1line.version > victim.version:
+                    victim.version = l1line.version
+                victim.dirty = True
+        llc_line = self.llc.lookup(line_addr)
+        if llc_line is None:
+            raise CoherenceViolation(
+                f"inclusion broken: L2 victim {line_addr:#x} absent from LLC"
+            )
+        if victim.dirty:
+            if victim.version > llc_line.version:
+                llc_line.version = victim.version
+            llc_line.dirty = True
+        llc_line.sharers &= ~(1 << core)
+
+    # ------------------------------------------------------------------
+    # Memory path and LLC evictions
+    # ------------------------------------------------------------------
+
+    def _fetch_into_llc(
+        self, line_addr: int, now: int, demand: bool
+    ) -> tuple[int, CacheLine]:
+        captured = False
+        if demand and self.monitor is not None:
+            captured = bool(self.monitor.on_access(line_addr, now))
+        latency = self.mc.fetch(
+            self.mapper.byte_address(line_addr), now, prefetch=not demand
+        )
+        version = self._memory_versions.get(line_addr, 0)
+        llc_line, victim = self.llc.insert(line_addr, version=version)
+        if victim is not None:
+            self._handle_llc_eviction(victim, now)
+        if demand:
+            if captured:
+                llc_line.pingpong = True
+                llc_line.accessed = True  # a demand access by definition
+        else:
+            # Prefetch fill: stays tagged, access bit cleared (the
+            # no-endless-prefetch rule, Section IV).
+            llc_line.pingpong = True
+            llc_line.accessed = False
+        return latency, llc_line
+
+    def _handle_llc_eviction(self, victim: CacheLine, now: int) -> None:
+        self.stats.llc_evictions += 1
+        # The monitor hook fires first, while the victim's directory
+        # state is intact: PiPoMonitor reads the pingpong/accessed
+        # bits, stateless baselines (BITP) read the sharers mask to
+        # detect back-invalidations.  The hook only schedules events.
+        if self.monitor is not None:
+            self.monitor.on_llc_eviction(victim, now)
+        for core in victim.sharer_list():
+            self._remove_core_copies(core, victim.addr, victim)
+            self.stats.back_invalidations += 1
+        victim.sharers = 0
+        if victim.dirty:
+            self.mc.writeback(self.mapper.byte_address(victim.addr), now)
+            self._memory_versions[victim.addr] = victim.version
+            self.stats.writebacks_to_memory += 1
+
+    def prefetch_fill(self, line_addr: int, now: int, tag: bool = True) -> bool:
+        """Fill a line into the LLC on behalf of the monitor.
+
+        ``tag`` controls whether the filled line carries the Ping-Pong
+        tag (PiPoMonitor re-tags its prefetches; stateless prefetchers
+        like BITP do not tag).  Returns True when a fetch was actually
+        issued (False when the line is already resident, e.g.
+        re-fetched by a demand miss before the delayed prefetch fired).
+        """
+        if self.llc.lookup(line_addr) is not None:
+            self.stats.prefetch_skipped += 1
+            return False
+        _, llc_line = self._fetch_into_llc(line_addr, now, demand=False)
+        llc_line.pingpong = tag
+        self.stats.prefetch_fills += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection and validation
+    # ------------------------------------------------------------------
+
+    def read_version(self, core: int, addr: int) -> int:
+        """The data version a read by ``core`` would observe, *without*
+        perturbing any state.  Test helper mirroring the serve path."""
+        line_addr = addr >> self.mapper.line_bits
+        for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
+            line = cache.lookup(line_addr)
+            if line is not None:
+                return line.version
+        # Another core may hold a newer dirty copy.
+        best = -1
+        for other in range(self.num_cores):
+            for cache in (self.l1d[other], self.l1i[other], self.l2[other]):
+                line = cache.lookup(line_addr)
+                if line is not None and line.dirty and line.version > best:
+                    best = line.version
+        llc_line = self.llc.lookup(line_addr)
+        if llc_line is not None and llc_line.version > best:
+            best = llc_line.version
+        if best >= 0:
+            return best
+        return self._memory_versions.get(line_addr, 0)
+
+    def holders_of(self, line_addr: int) -> dict[int, int]:
+        """Map core → private MESI state for a line (test helper)."""
+        holders: dict[int, int] = {}
+        for core in range(self.num_cores):
+            state = None
+            for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
+                line = cache.lookup(line_addr)
+                if line is not None:
+                    state = line.state if state is None else max(state, line.state)
+            if state is not None:
+                holders[core] = state
+        return holders
+
+    def check_invariants(self) -> None:
+        """Validate MESI, inclusion, and directory accuracy everywhere.
+
+        Raises :class:`CoherenceViolation` on the first failure.  Meant
+        for tests — it walks every resident line.
+        """
+        private_addrs: set[int] = set()
+        for core in range(self.num_cores):
+            l2_lines = {line.addr for line in self.l2[core].lines()}
+            for l1 in (self.l1d[core], self.l1i[core]):
+                for line in l1.lines():
+                    if line.addr not in l2_lines:
+                        raise CoherenceViolation(
+                            f"L1 line {line.addr:#x} of core {core} "
+                            "missing from its L2 (inclusion)"
+                        )
+            private_addrs.update(l2_lines)
+        llc_addrs = {line.addr for line in self.llc.lines()}
+        missing = private_addrs - llc_addrs
+        if missing:
+            raise CoherenceViolation(
+                f"private lines missing from LLC (inclusion): "
+                f"{[hex(a) for a in sorted(missing)][:4]}"
+            )
+        for llc_line in self.llc.lines():
+            holders = self.holders_of(llc_line.addr)
+            check_mesi_invariants(holders)
+            if set(holders) != set(llc_line.sharer_list()):
+                raise CoherenceViolation(
+                    f"directory mismatch for {llc_line.addr:#x}: "
+                    f"sharers={llc_line.sharer_list()} actual={sorted(holders)}"
+                )
+
+
+def _decode_bits(mask: int) -> list[int]:
+    """Bit positions set in ``mask``."""
+    out = []
+    position = 0
+    while mask:
+        if mask & 1:
+            out.append(position)
+        mask >>= 1
+        position += 1
+    return out

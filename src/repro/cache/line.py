@@ -1,0 +1,72 @@
+"""Cache line metadata.
+
+A single class serves every level.  Private-cache lines use ``state``
+(MESI) and ``dirty``; LLC lines additionally use ``sharers`` (directory
+presence bitmask) and the two PiPoMonitor bits:
+
+``pingpong``  — the Ping-Pong protection tag PiPoMonitor sets when a
+                captured line is retrieved from memory ("the cache line
+                will be tagged as Ping-Pong in LLC", Section IV).
+``accessed``  — whether the tagged line has been touched since its last
+                fill; prefetch fills clear it, demand hits set it.  The
+                eviction→prefetch rule only fires for tagged-*and*-
+                accessed lines, preventing endless prefetching.
+
+``version`` is a monotonically increasing write stamp used by the test
+suite to validate coherence (a read must observe the newest write); it
+models data without storing data.
+"""
+
+from __future__ import annotations
+
+from repro.cache.coherence import state_name
+
+
+class CacheLine:
+    """Mutable per-line metadata (one instance per resident line)."""
+
+    __slots__ = (
+        "addr",
+        "state",
+        "dirty",
+        "stamp",
+        "sharers",
+        "pingpong",
+        "accessed",
+        "version",
+    )
+
+    def __init__(self, addr: int, state: int = 0, version: int = 0):
+        self.addr = addr
+        self.state = state
+        self.dirty = False
+        self.stamp = 0
+        self.sharers = 0
+        self.pingpong = False
+        self.accessed = False
+        self.version = version
+
+    def sharer_list(self) -> list[int]:
+        """Decode the sharers bitmask into a sorted list of core ids."""
+        cores = []
+        mask = self.sharers
+        core = 0
+        while mask:
+            if mask & 1:
+                cores.append(core)
+            mask >>= 1
+            core += 1
+        return cores
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.dirty:
+            flags.append("dirty")
+        if self.pingpong:
+            flags.append("pingpong")
+        if self.accessed:
+            flags.append("accessed")
+        return (
+            f"CacheLine(addr={self.addr:#x}, state={state_name(self.state)}, "
+            f"sharers={self.sharer_list()}, {' '.join(flags) or 'clean'})"
+        )

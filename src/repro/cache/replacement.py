@@ -1,0 +1,162 @@
+"""Replacement policies.
+
+Each policy operates on the line objects of one set.  Policies are
+stateless across sets except for the RNG (random) and the per-cache
+monotonic stamp counter the cache supplies on ``touch``/``insert``.
+
+``LruPolicy`` is the default everywhere (gem5's classic caches default
+to LRU); the others exist for sensitivity studies and because SHARP-
+style defenses modify the LLC policy.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.cache.line import CacheLine
+from repro.utils.rng import derive_rng
+
+
+class ReplacementPolicy:
+    """Interface: pick a victim among the resident lines of a set."""
+
+    name = "abstract"
+
+    def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
+        raise NotImplementedError
+
+    def on_touch(self, line: CacheLine, stamp: int) -> None:
+        """Called on every hit with a fresh monotonic stamp."""
+
+    def on_insert(self, line: CacheLine, stamp: int) -> None:
+        """Called when a line is filled with a fresh monotonic stamp."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Evict the least-recently-used line (smallest stamp)."""
+
+    name = "lru"
+
+    def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
+        return min(lines, key=lambda line: line.stamp)
+
+    def on_touch(self, line: CacheLine, stamp: int) -> None:
+        line.stamp = stamp
+
+    def on_insert(self, line: CacheLine, stamp: int) -> None:
+        line.stamp = stamp
+
+
+class FifoPolicy(ReplacementPolicy):
+    """Evict the oldest-inserted line; hits do not refresh."""
+
+    name = "fifo"
+
+    def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
+        return min(lines, key=lambda line: line.stamp)
+
+    def on_insert(self, line: CacheLine, stamp: int) -> None:
+        line.stamp = stamp
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random resident line."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng: random.Random = derive_rng(seed, "random-replacement")
+
+    def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
+        candidates = list(lines)
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU approximated with recency stamps plus a decaying
+    promotion granularity.
+
+    A faithful bit-tree PLRU needs a fixed way ordering; our sets are
+    dictionaries, so we approximate by quantising stamps — lines touched
+    within the same quantum are equally old, which reproduces PLRU's
+    characteristic imprecision (it may evict a recently-used line that
+    shares a subtree with the MRU line) without per-set tree state.
+    """
+
+    name = "plru"
+
+    def __init__(self, quantum: int = 4, seed: int = 0):
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.quantum = quantum
+        self._rng: random.Random = derive_rng(seed, "plru-ties")
+
+    def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
+        candidates = list(lines)
+        oldest = min(line.stamp // self.quantum for line in candidates)
+        pool = [
+            line for line in candidates
+            if line.stamp // self.quantum == oldest
+        ]
+        return pool[self._rng.randrange(len(pool))]
+
+    def on_touch(self, line: CacheLine, stamp: int) -> None:
+        line.stamp = stamp
+
+    def on_insert(self, line: CacheLine, stamp: int) -> None:
+        line.stamp = stamp
+
+
+class LruRandomPolicy(ReplacementPolicy):
+    """LRU with a randomised tail: the victim is drawn uniformly from
+    the ``pool_size`` least-recently-used lines.
+
+    This is the bounded nondeterminism real LLC policies exhibit
+    (tree-PLRU imprecision, NRU scans, adaptive insertion): a line that
+    is *much* staler than the rest is evicted essentially
+    deterministically, but near-ties are broken unpredictably.  The
+    distinction matters for the Fig. 6 experiment — see EXPERIMENTS.md.
+    """
+
+    name = "lru_rand"
+
+    def __init__(self, pool_size: int = 4, seed: int = 0):
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self._rng: random.Random = derive_rng(seed, "lru-rand")
+
+    def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
+        candidates = sorted(lines, key=lambda line: line.stamp)
+        pool = candidates[: self.pool_size]
+        return pool[self._rng.randrange(len(pool))]
+
+    def on_touch(self, line: CacheLine, stamp: int) -> None:
+        line.stamp = stamp
+
+    def on_insert(self, line: CacheLine, stamp: int) -> None:
+        line.stamp = stamp
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+    "plru": TreePlruPolicy,
+    "lru_rand": LruRandomPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by name (``lru``/``fifo``/``random``/``plru``)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls in (RandomPolicy, TreePlruPolicy, LruRandomPolicy):
+        return cls(seed=seed)
+    return cls()

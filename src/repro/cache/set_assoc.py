@@ -1,0 +1,162 @@
+"""Generic set-associative cache array.
+
+Pure bookkeeping: lookup/insert/remove plus replacement.  Coherence,
+inclusion, and writeback *policy* live in the hierarchy; this class
+only reports the victim line it had to evict on an insertion into a
+full set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.utils.bitops import is_power_of_two, log2_exact
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/associativity/line-size triple with derived quantities."""
+
+    size_bytes: int
+    ways: int
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0:
+            raise ValueError("size and ways must be positive")
+        if not is_power_of_two(self.line_size):
+            raise ValueError("line size must be a power of two")
+        if self.size_bytes % (self.ways * self.line_size):
+            raise ValueError("size must be divisible by ways*line_size")
+        if not is_power_of_two(self.num_sets):
+            raise ValueError(
+                f"geometry yields {self.num_sets} sets; must be a power of two"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+    @property
+    def set_bits(self) -> int:
+        return log2_exact(self.num_sets)
+
+
+class SetAssociativeCache:
+    """One cache array (an L1, an L2, or one LLC slice).
+
+    Lines are keyed by full line address within each set, so tags are
+    implicit and exact.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: str | ReplacementPolicy = "lru",
+        seed: int = 0,
+        name: str = "cache",
+    ):
+        self.geometry = geometry
+        self.name = name
+        self.num_sets = geometry.num_sets
+        self.ways = geometry.ways
+        self._set_mask = self.num_sets - 1
+        self._sets: list[dict[int, CacheLine]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        if isinstance(policy, str):
+            policy = make_policy(policy, seed=seed)
+        self.policy = policy
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        """Set selected by the low line-address bits."""
+        return line_addr & self._set_mask
+
+    def lookup(self, line_addr: int) -> CacheLine | None:
+        """Return the resident line or None.  Does not update recency
+        (callers decide whether an operation counts as a use)."""
+        return self._sets[line_addr & self._set_mask].get(line_addr)
+
+    def probe(self, line_addr: int) -> bool:
+        """Presence check with hit/miss accounting."""
+        if self.lookup(line_addr) is not None:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def touch(self, line: CacheLine) -> None:
+        """Record a use of ``line`` for the replacement policy."""
+        self._stamp += 1
+        self.policy.on_touch(line, self._stamp)
+
+    def insert(self, line_addr: int, version: int = 0) -> tuple[CacheLine, CacheLine | None]:
+        """Fill ``line_addr``; return ``(new_line, evicted_line_or_None)``.
+
+        The victim is *removed* from the array before the new line is
+        placed; the caller must handle its writeback/invalidation
+        obligations.  Inserting an already-present address is an error
+        (callers must lookup first).
+        """
+        index = line_addr & self._set_mask
+        cache_set = self._sets[index]
+        if line_addr in cache_set:
+            raise ValueError(
+                f"{self.name}: duplicate insert of line {line_addr:#x}"
+            )
+        victim = None
+        if len(cache_set) >= self.ways:
+            victim = self.policy.victim(cache_set.values())
+            del cache_set[victim.addr]
+            self.evictions += 1
+        line = CacheLine(line_addr, version=version)
+        self._stamp += 1
+        self.policy.on_insert(line, self._stamp)
+        cache_set[line_addr] = line
+        return line, victim
+
+    def remove(self, line_addr: int) -> CacheLine | None:
+        """Remove and return a resident line (None when absent)."""
+        return self._sets[line_addr & self._set_mask].pop(line_addr, None)
+
+    # ------------------------------------------------------------------
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over every resident line."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def set_lines(self, index: int) -> list[CacheLine]:
+        """Resident lines of one set (snapshot list)."""
+        return list(self._sets[index].values())
+
+    def occupancy(self) -> float:
+        """Fraction of line slots in use."""
+        resident = sum(len(s) for s in self._sets)
+        return resident / (self.num_sets * self.ways)
+
+    def __contains__(self, line_addr: int) -> bool:
+        return self.lookup(line_addr) is not None
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.name}, "
+            f"{self.geometry.size_bytes // 1024} KiB, "
+            f"{self.ways}-way, {self.num_sets} sets)"
+        )

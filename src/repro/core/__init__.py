@@ -1,0 +1,26 @@
+"""The paper's primary contribution: PiPoMonitor and its configuration.
+
+``PiPoMonitor`` observes demand fetches at the memory controller,
+records them in an Auto-Cuckoo filter, captures Ping-Pong lines, and
+interferes with attackers by prefetching protected lines back into the
+LLC after they are evicted.
+"""
+
+from repro.core.config import (
+    CacheLevelConfig,
+    FilterConfig,
+    SystemConfig,
+    TABLE_II,
+    TABLE_II_FILTER,
+)
+from repro.core.pipomonitor import MonitorStats, PiPoMonitor
+
+__all__ = [
+    "CacheLevelConfig",
+    "FilterConfig",
+    "MonitorStats",
+    "PiPoMonitor",
+    "SystemConfig",
+    "TABLE_II",
+    "TABLE_II_FILTER",
+]

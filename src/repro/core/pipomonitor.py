@@ -1,0 +1,138 @@
+"""PiPoMonitor (Section IV of the paper).
+
+Placement and protocol, mirroring Fig. 2:
+
+* The monitor lives beside the memory controller and sees every demand
+  fetch the LLC sends to memory (an *Access*).  Each Access is a
+  Query to the Auto-Cuckoo filter; the Response is the entry's
+  Security value.  A Response equal to ``secThr`` captures the line as
+  Ping-Pong, and the hierarchy tags the filled LLC copy.
+* When the LLC evicts a tagged line it raises a *pEvict*.  If the line
+  was accessed since its last fill, the monitor waits ``prefetch_delay``
+  cycles ("to avoid memory bandwidth preemption with the writeback of
+  the same line") and then prefetches the line back through the memory
+  fetch queue, obfuscating the adversary's probes.  If the line was
+  *not* accessed since it was last prefetched, no prefetch is issued —
+  the no-endless-prefetch rule.
+* The monitor's own prefetches are not Accesses: the hierarchy fetches
+  them with ``demand=False`` so they never re-enter the filter.
+
+The monitor works "in parallel with memory fetches": queries add no
+latency to the demand path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.line import CacheLine
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.utils.events import EventQueue
+
+DEFAULT_PREFETCH_DELAY = 40
+
+
+@dataclass
+class MonitorStats:
+    """PiPoMonitor activity counters.
+
+    ``prefetches_issued`` during a benign workload is the paper's
+    false-positive count (Section VII-B: "all cache lines having a
+    Ping-Pong behavior and triggering Prefetch are considered as false
+    positives").
+    """
+
+    accesses: int = 0
+    captures: int = 0
+    pevicts: int = 0
+    prefetches_scheduled: int = 0
+    prefetches_issued: int = 0
+    prefetches_redundant: int = 0
+    suppressed_unaccessed: int = 0
+
+    def false_positives_per_million_instructions(self, instructions: int) -> float:
+        """Fig. 8(b)'s metric, given the instructions simulated."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return self.prefetches_issued * 1_000_000 / instructions
+
+
+class PiPoMonitor:
+    """The stateful Ping-Pong detector + prefetch obfuscator."""
+
+    def __init__(
+        self,
+        fltr: AutoCuckooFilter,
+        events: EventQueue,
+        prefetch_delay: int = DEFAULT_PREFETCH_DELAY,
+        track_captured_lines: bool = False,
+    ):
+        if prefetch_delay < 0:
+            raise ValueError("prefetch_delay must be non-negative")
+        self.filter = fltr
+        self.events = events
+        self.prefetch_delay = prefetch_delay
+        self.stats = MonitorStats()
+        self.hierarchy = None
+        self.captured_lines: set[int] | None = (
+            set() if track_captured_lines else None
+        )
+
+    def attach(self, hierarchy) -> None:
+        """Wire the monitor into a hierarchy (both directions)."""
+        self.hierarchy = hierarchy
+        hierarchy.monitor = self
+
+    # ------------------------------------------------------------------
+    # Hooks invoked by the hierarchy
+    # ------------------------------------------------------------------
+
+    def on_access(self, line_addr: int, now: int) -> bool:
+        """An LLC demand fetch reached memory.  Query/insert the filter;
+        return True when the line is captured as Ping-Pong."""
+        self.stats.accesses += 1
+        response = self.filter.access(line_addr)
+        if response >= self.filter.security_threshold:
+            self.stats.captures += 1
+            if self.captured_lines is not None:
+                self.captured_lines.add(line_addr)
+            return True
+        return False
+
+    def on_llc_eviction(self, line: CacheLine, now: int) -> None:
+        """LLC eviction hook; only tagged lines raise a pEvict."""
+        if not line.pingpong:
+            return
+        if not line.accessed:
+            # Tagged line evicted without a use since its last
+            # prefetch: do not re-prefetch (Section IV's over-
+            # protection guard).
+            self.stats.suppressed_unaccessed += 1
+            return
+        self.stats.pevicts += 1
+        self.stats.prefetches_scheduled += 1
+        line_addr = line.addr
+        fire_at = now + self.prefetch_delay
+        self.events.schedule(
+            fire_at,
+            lambda: self._fire_prefetch(line_addr, fire_at),
+            label=f"prefetch:{line_addr:#x}",
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fire_prefetch(self, line_addr: int, now: int) -> None:
+        if self.hierarchy is None:
+            raise RuntimeError("monitor not attached to a hierarchy")
+        if self.hierarchy.prefetch_fill(line_addr, now):
+            self.stats.prefetches_issued += 1
+        else:
+            # A demand miss re-fetched the line during the delay.
+            self.stats.prefetches_redundant += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"PiPoMonitor(delay={self.prefetch_delay}, "
+            f"captures={self.stats.captures}, "
+            f"prefetches={self.stats.prefetches_issued})"
+        )

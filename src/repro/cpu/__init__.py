@@ -1,0 +1,14 @@
+"""Timing CPU substrate: generator-driven in-order cores and the
+multicore scheduler that interleaves them in global time order."""
+
+from repro.cpu.core import Core
+from repro.cpu.multicore import MulticoreSystem, SimulationResult
+from repro.cpu.system import build_system, run_workloads
+
+__all__ = [
+    "Core",
+    "MulticoreSystem",
+    "SimulationResult",
+    "build_system",
+    "run_workloads",
+]

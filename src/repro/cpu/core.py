@@ -1,0 +1,93 @@
+"""In-order blocking core model.
+
+A core executes a *workload generator*: a Python generator yielding
+``(compute_instructions, op, byte_address)`` records and receiving the
+latency of its previous memory operation via ``send`` (attack code uses
+that feedback to time its probes, exactly like ``rdtsc`` around a load).
+
+Timing model: non-memory instructions retire at CPI = 1; a memory
+operation blocks the core for the hierarchy-reported latency.  ``op``
+may be ``None`` for a pure-compute record.
+
+The core advances in two phases so the multicore scheduler can
+interleave shared-state mutations in global time order:
+
+* :meth:`advance`  — consume the next record and add its compute time;
+  after it returns, ``time`` is the cycle at which the pending memory
+  operation will reach the hierarchy.
+* :meth:`execute_pending` — perform that operation and add its latency.
+"""
+
+from __future__ import annotations
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.workloads.base import WorkloadGenerator
+
+
+class Core:
+    """One hardware thread bound to a private L1/L2 stack."""
+
+    def __init__(
+        self,
+        core_id: int,
+        workload: WorkloadGenerator,
+        hierarchy: CacheHierarchy,
+    ):
+        self.core_id = core_id
+        self.workload = workload
+        self.hierarchy = hierarchy
+        self.time = 0
+        self.instructions = 0
+        self.memory_ops = 0
+        self.finished = False
+        self._pending: tuple[int, int] | None = None
+        self._last_latency = 0
+        self._primed = False
+
+    def advance(self) -> bool:
+        """Consume the next workload record (compute phase).
+
+        Returns False when the workload generator is exhausted, in
+        which case the core is marked finished.
+        """
+        if self.finished:
+            return False
+        try:
+            if self._primed:
+                item = self.workload.send(self._last_latency)
+            else:
+                item = next(self.workload)
+                self._primed = True
+        except StopIteration:
+            self.finished = True
+            return False
+        compute, op, addr = item
+        if compute < 0:
+            raise ValueError("compute instruction count must be >= 0")
+        self.time += compute
+        self.instructions += compute
+        if op is None:
+            self._pending = None
+            self._last_latency = 0
+        else:
+            self._pending = (op, addr)
+        return True
+
+    def execute_pending(self) -> None:
+        """Perform the memory operation scheduled by :meth:`advance`."""
+        if self._pending is None:
+            return
+        op, addr = self._pending
+        latency = self.hierarchy.access(self.core_id, op, addr, now=self.time)
+        self.time += latency
+        self.instructions += 1
+        self.memory_ops += 1
+        self._last_latency = latency
+        self._pending = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Core({self.core_id}, t={self.time}, "
+            f"insns={self.instructions}, "
+            f"{'finished' if self.finished else 'running'})"
+        )

@@ -1,0 +1,72 @@
+"""Full-system assembly: config + workloads → runnable multicore system.
+
+``run_workloads`` is the one-call entry point the performance
+experiments (Fig. 8, secThr sensitivity) are built on: it constructs the
+Table II hierarchy, optionally deploys PiPoMonitor, binds one workload
+per core, and runs to an instruction budget.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.core.pipomonitor import PiPoMonitor
+from repro.cpu.core import Core
+from repro.cpu.multicore import MulticoreSystem, SimulationResult
+from repro.utils.events import EventQueue
+from repro.utils.rng import derive_seed
+from repro.workloads.base import Workload
+
+
+def build_system(
+    config: SystemConfig,
+    workloads: list[Workload],
+    seed: int = 0,
+    track_captured_lines: bool = False,
+) -> tuple[MulticoreSystem, PiPoMonitor | None]:
+    """Construct the system a config describes.
+
+    One workload per core is required.  Returns the system and the
+    deployed monitor (None when ``config.monitor_enabled`` is False —
+    the paper's baseline).
+    """
+    if len(workloads) != config.num_cores:
+        raise ValueError(
+            f"need exactly {config.num_cores} workloads, "
+            f"got {len(workloads)}"
+        )
+    events = EventQueue()
+    hierarchy = config.build_hierarchy(seed=seed)
+    monitor = None
+    if config.monitor_enabled:
+        fltr = config.filter.build(seed=derive_seed(seed, "filter"))
+        monitor = PiPoMonitor(
+            fltr,
+            events,
+            prefetch_delay=config.prefetch_delay,
+            track_captured_lines=track_captured_lines,
+        )
+        monitor.attach(hierarchy)
+    cores = [
+        Core(
+            core_id,
+            workload.generator(core_id, derive_seed(seed, "workload", core_id)),
+            hierarchy,
+        )
+        for core_id, workload in enumerate(workloads)
+    ]
+    return MulticoreSystem(hierarchy, cores, events), monitor
+
+
+def run_workloads(
+    config: SystemConfig,
+    workloads: list[Workload],
+    instructions_per_core: int,
+    seed: int = 0,
+) -> SimulationResult:
+    """Build and run in one call; returns the simulation result."""
+    system, monitor = build_system(config, workloads, seed=seed)
+    result = system.run(max_instructions_per_core=instructions_per_core)
+    if monitor is not None:
+        result.extra["filter_occupancy"] = monitor.filter.occupancy()
+        result.extra["prefetch_delay"] = monitor.prefetch_delay
+    return result

@@ -1,0 +1,35 @@
+"""Experiment harnesses — one module per paper artefact.
+
+==================  =============================================
+Module              Paper artefact
+==================  =============================================
+fig3_occupancy      Fig. 3 (occupancy vs insertions, MNK sweep)
+fig4_collisions     Fig. 4 (fingerprint-collision ratio vs f)
+fig6_attack         Fig. 6 (Prime+Probe with/without PiPoMonitor)
+fig7_reverse        Fig. 7 + §VI-B (brute force / reverse attacks)
+fig8_performance    Fig. 8(a)+(b) (10 mixes × filter sizes)
+secthr_sensitivity  §VII-C (secThr ∈ {1,2,3})
+overhead_table      §VII-D (storage and area)
+baseline_comparison §VIII extension (vs table recorder / BITP)
+==================  =============================================
+
+Every module exposes ``run(seed=..., full=...) -> ExperimentResult``
+(laptop-scale by default, paper-scale with ``full=True`` or
+``REPRO_FULL=1``) and a ``main()`` CLI entry.
+"""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    instructions_per_core,
+    is_full_scale,
+    scaled_mix_workloads,
+    scaled_system_config,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "instructions_per_core",
+    "is_full_scale",
+    "scaled_mix_workloads",
+    "scaled_system_config",
+]

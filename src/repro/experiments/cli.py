@@ -1,0 +1,67 @@
+"""``repro-experiment`` — run any experiment from the command line.
+
+Examples::
+
+    repro-experiment fig3
+    repro-experiment fig8 --full --seed 7
+    repro-experiment all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    baseline_comparison,
+    defense_ablation,
+    fig3_occupancy,
+    fig4_collisions,
+    fig6_attack,
+    fig7_reverse,
+    fig8_performance,
+    overhead_table,
+    secthr_sensitivity,
+)
+
+EXPERIMENTS = {
+    "fig3": fig3_occupancy,
+    "fig4": fig4_collisions,
+    "fig6": fig6_attack,
+    "fig7": fig7_reverse,
+    "fig8": fig8_performance,
+    "secthr": secthr_sensitivity,
+    "overhead": overhead_table,
+    "baselines": baseline_comparison,
+    "ablation": defense_ablation,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Reproduce a PiPoMonitor paper artefact",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (or 'all')",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale run (Table II geometry, long budgets)",
+    )
+    args = parser.parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name].run(seed=args.seed, full=args.full or None)
+        print(result.to_text())
+        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

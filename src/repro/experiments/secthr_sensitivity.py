@@ -1,0 +1,81 @@
+"""§VII-C — Security-threshold sensitivity.
+
+Paper observation to reproduce: "the average performance when the
+threshold is 3 is better than when it is 1 or 2" — a lower secThr
+captures sooner but floods the system with benign prefetches.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.system import run_workloads
+from repro.experiments.common import (
+    ExperimentResult,
+    instructions_per_core,
+    scaled_mix_workloads,
+    scaled_system_config,
+)
+from repro.utils.stats import geometric_mean
+
+SECTHR_SWEEP = (1, 2, 3)
+#: A representative subset: the two prefetch-heavy mixes plus one
+#: cache-resident mix.
+DEFAULT_MIXES = ("mix1", "mix7", "mix3")
+
+
+def run(
+    seed: int = 0,
+    full: bool | None = None,
+    mixes: tuple[str, ...] = DEFAULT_MIXES,
+    instructions: int | None = None,
+) -> ExperimentResult:
+    if instructions is None:
+        instructions = instructions_per_core(full)
+    rows = []
+    per_thr_norm: dict[int, list[float]] = {t: [] for t in SECTHR_SWEEP}
+    for mix in mixes:
+        workloads = scaled_mix_workloads(mix, full)
+        base = run_workloads(
+            scaled_system_config(full, monitor_enabled=False),
+            workloads, instructions, seed=seed,
+        )
+        row = [mix]
+        for secthr in SECTHR_SWEEP:
+            config = scaled_system_config(full, security_threshold=secthr)
+            outcome = run_workloads(config, workloads, instructions, seed=seed)
+            norm = base.mean_time / outcome.mean_time
+            per_thr_norm[secthr].append(norm)
+            fp = outcome.monitor_stats.false_positives_per_million_instructions(
+                outcome.total_instructions
+            )
+            row.extend([round(norm, 5), round(fp, 1)])
+        rows.append(row)
+
+    result = ExperimentResult(
+        "secthr", "secThr sensitivity (normalized perf / FP per Minsn)"
+    )
+    headers = ["mix"]
+    for secthr in SECTHR_SWEEP:
+        headers.extend([f"perf thr={secthr}", f"fp thr={secthr}"])
+    result.add_table("per mix", headers, rows)
+    means = {t: geometric_mean(v) for t, v in per_thr_norm.items()}
+    result.add_table(
+        "average normalized performance",
+        [f"thr={t}" for t in SECTHR_SWEEP],
+        [[round(means[t], 5) for t in SECTHR_SWEEP]],
+    )
+    best = max(means, key=means.get)
+    result.add_note(
+        f"best average performance at secThr={best} "
+        "(paper: 3 beats 1 and 2; both effects are <0.1% — the robust "
+        "signal is the false-positive blow-up at low thresholds)"
+    )
+    result.data["means"] = means
+    return result
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

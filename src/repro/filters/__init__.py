@@ -1,0 +1,35 @@
+"""Cuckoo-filter family.
+
+``CuckooFilter``     — the classic software filter of Fan et al.
+                       (CoNEXT'14): insertions fail once a relocation
+                       chain exhausts MNK, and records can be deleted —
+                       the deletion interface is the reverse-engineering
+                       weakness the paper attacks.
+``AutoCuckooFilter`` — the paper's contribution: insertions never fail;
+                       when a relocation chain reaches MNK the last
+                       carried fingerprint is *autonomically deleted*,
+                       and each entry carries a saturating ``Security``
+                       re-access counter used for Ping-Pong detection.
+"""
+
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.hashing import PartialKeyHasher
+from repro.filters.metrics import (
+    CollisionCensus,
+    collision_census,
+    measure_false_positive_rate,
+    occupancy_curve,
+    theoretical_false_positive_rate,
+)
+
+__all__ = [
+    "AutoCuckooFilter",
+    "CollisionCensus",
+    "CuckooFilter",
+    "PartialKeyHasher",
+    "collision_census",
+    "measure_false_positive_rate",
+    "occupancy_curve",
+    "theoretical_false_positive_rate",
+]

@@ -1,0 +1,335 @@
+"""The Auto-Cuckoo filter (Sections IV and V of the paper).
+
+Differences from the classic cuckoo filter:
+
+**Autonomic deletion** (Section V-A).  Insertions never fail.  A new
+fingerprint always enters the table; when a relocation chain reaches
+MNK relocations, the fingerprint that would need the (MNK+1)-th
+relocation is silently evicted instead.  Consequences reproduced here:
+
+* occupancy is monotonically non-decreasing and climbs to 100 % from
+  insertion history alone, so a tiny MNK (the paper picks 4) suffices
+  (Fig. 3);
+* the eventually-evicted record is the endpoint of a random kick walk,
+  so an adversary cannot deterministically evict a chosen record
+  (Section VI-B, Fig. 7);
+* there is **no delete operation** — the classic filter's false-deletion
+  attack surface does not exist.
+
+**Security counters** (Section IV, Table I).  Each entry carries a
+saturating ``Security`` counter counting re-accesses (``reAccess``).
+``access(x)`` implements the Query/Response protocol: a miss inserts a
+new entry with Security 0; a hit increments Security (saturating); the
+response is the post-access Security value.  PiPoMonitor declares a
+Ping-Pong when the response reaches ``secThr``.
+
+The relocation-chain semantics follow Fig. 7's analysis exactly: with
+MNK = 0, inserting into a full bucket evicts a random resident; with
+MNK = k, a record is evicted only when it is the carried victim after k
+relocations, so a reverse-engineered eviction set needs b**(MNK+1)
+addresses.
+
+Optional ``instrument=True`` keeps a shadow map of the distinct source
+addresses merged into every entry.  This powers Fig. 4 (fingerprint-
+collision census) and gives attack experiments ground truth on whether
+a *specific address's* record survives (``holds_address``), which
+``contains`` cannot answer because of fingerprint collisions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.filters.hashing import PartialKeyHasher
+from repro.utils.rng import derive_seed
+
+_U64 = (1 << 64) - 1
+
+#: Paper defaults (Table II): l=1024, b=8, f=12, secThr=3, MNK=4.
+DEFAULT_NUM_BUCKETS = 1024
+DEFAULT_ENTRIES_PER_BUCKET = 8
+DEFAULT_FINGERPRINT_BITS = 12
+DEFAULT_MAX_KICKS = 4
+DEFAULT_SECURITY_THRESHOLD = 3
+
+#: Width of the hardware Security counter (Section VII-D: 2 bits).
+SECURITY_COUNTER_BITS = 2
+
+
+@dataclass(frozen=True)
+class FilterGeometry:
+    """The (l, b, f) triple plus derived storage quantities."""
+
+    num_buckets: int
+    entries_per_bucket: int
+    fingerprint_bits: int
+
+    @property
+    def entry_count(self) -> int:
+        return self.num_buckets * self.entries_per_bucket
+
+    @property
+    def bits_per_entry(self) -> int:
+        """fPrint (f) + Security (2) + Valid (1), per Section VII-D."""
+        return self.fingerprint_bits + SECURITY_COUNTER_BITS + 1
+
+    @property
+    def storage_bits(self) -> int:
+        return self.entry_count * self.bits_per_entry
+
+    @property
+    def storage_kib(self) -> float:
+        return self.storage_bits / 8 / 1024
+
+
+class AutoCuckooFilter:
+    """Hardware-model Auto-Cuckoo filter over integer keys.
+
+    Parameters (Table I / Table II of the paper)
+    --------------------------------------------
+    num_buckets:
+        ``l`` — bucket rows; power of two.
+    entries_per_bucket:
+        ``b`` — entries per bucket row.
+    fingerprint_bits:
+        ``f`` — fingerprint width.
+    max_kicks:
+        MNK — relocation budget before autonomic deletion.
+    security_threshold:
+        ``secThr`` — Security saturation value; a Response equal to
+        this value flags a Ping-Pong line.
+    instrument:
+        Keep per-entry shadow address sets (testing/measurement only —
+        a real hardware filter stores no addresses).
+    """
+
+    def __init__(
+        self,
+        num_buckets: int = DEFAULT_NUM_BUCKETS,
+        entries_per_bucket: int = DEFAULT_ENTRIES_PER_BUCKET,
+        fingerprint_bits: int = DEFAULT_FINGERPRINT_BITS,
+        max_kicks: int = DEFAULT_MAX_KICKS,
+        security_threshold: int = DEFAULT_SECURITY_THRESHOLD,
+        seed: int = 0,
+        instrument: bool = False,
+    ):
+        if entries_per_bucket < 1:
+            raise ValueError("entries_per_bucket must be >= 1")
+        if max_kicks < 0:
+            raise ValueError("max_kicks must be >= 0")
+        if security_threshold < 1:
+            raise ValueError("security_threshold must be >= 1")
+        if security_threshold > (1 << SECURITY_COUNTER_BITS) - 1:
+            raise ValueError(
+                "security_threshold exceeds the hardware counter range"
+            )
+        self.hasher = PartialKeyHasher(num_buckets, fingerprint_bits, seed=seed)
+        self.geometry = FilterGeometry(
+            num_buckets, entries_per_bucket, fingerprint_bits
+        )
+        self.num_buckets = num_buckets
+        self.entries_per_bucket = entries_per_bucket
+        self.max_kicks = max_kicks
+        self.security_threshold = security_threshold
+        # Victim selection uses an inline 64-bit LCG: the filter sits on
+        # the simulator's hottest path (one access per LLC miss) and a
+        # full random.Random call per kick dominates the profile.  The
+        # LCG mirrors the hardware's cheap LFSR victim picker.
+        self._lcg = derive_seed(seed, "auto-cuckoo-victim") | 1
+        self._fps: list[list[int]] = [
+            [0] * entries_per_bucket for _ in range(num_buckets)
+        ]
+        self._security: list[list[int]] = [
+            [0] * entries_per_bucket for _ in range(num_buckets)
+        ]
+        self.instrumented = instrument
+        self._addresses: list[list[set[int] | None]] | None = (
+            [[None] * entries_per_bucket for _ in range(num_buckets)]
+            if instrument
+            else None
+        )
+        self.valid_count = 0
+        self.autonomic_deletions = 0
+        self.total_accesses = 0
+        self.total_relocations = 0
+
+    # ------------------------------------------------------------------
+    # The Query/Response protocol (Section IV)
+    # ------------------------------------------------------------------
+
+    def access(self, key: int) -> int:
+        """Record an ``Access`` for ``key``; return the Response.
+
+        The Response is the entry's Security value after this access:
+        0 for a fresh insertion, otherwise the saturating re-access
+        count.  A Response equal to ``security_threshold`` means the
+        line satisfies the Ping-Pong pattern.
+        """
+        self.total_accesses += 1
+        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        # --- Query: is a valid entry of ξ_x present in µ_x or σ_x? ---
+        for index in (i1, i2):
+            row = self._fps[index]
+            if fp in row:
+                slot = row.index(fp)
+                sec = self._security[index][slot]
+                if sec < self.security_threshold:
+                    sec += 1
+                    self._security[index][slot] = sec
+                if self._addresses is not None:
+                    entry = self._addresses[index][slot]
+                    if entry is not None:
+                        entry.add(key)
+                return sec
+        # --- Miss: insert a fresh entry (never fails). ---
+        self._insert_new(key, fp, i1, i2)
+        return 0
+
+    def contains(self, key: int) -> bool:
+        """Probabilistic membership (subject to fingerprint collisions)."""
+        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        return fp in self._fps[i1] or fp in self._fps[i2]
+
+    def security_of(self, key: int) -> int | None:
+        """Current Security of ``key``'s entry, or None when absent.
+
+        Read-only — does not count as an Access.
+        """
+        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        for index in (i1, i2):
+            row = self._fps[index]
+            if fp in row:
+                return self._security[index][row.index(fp)]
+        return None
+
+    # ------------------------------------------------------------------
+    # Insertion with autonomic deletion (Section V-A)
+    # ------------------------------------------------------------------
+
+    def _insert_new(self, key: int, fp: int, i1: int, i2: int) -> None:
+        if self._try_place(i1, fp, 0, key) or self._try_place(i2, fp, 0, key):
+            return
+        # Both candidate buckets full: start a relocation chain.
+        state = self._lcg
+        state = (state * 6364136223846793005 + 1442695040888963407) & _U64
+        index = i1 if state >> 63 else i2
+        carried_fp = fp
+        carried_sec = 0
+        carried_addrs: set[int] | None = {key} if self._addresses is not None else None
+        relocations = 0
+        while True:
+            state = (state * 6364136223846793005 + 1442695040888963407) & _U64
+            slot = (state >> 33) % self.entries_per_bucket
+            row = self._fps[index]
+            sec_row = self._security[index]
+            carried_fp, row[slot] = row[slot], carried_fp
+            carried_sec, sec_row[slot] = sec_row[slot], carried_sec
+            if self._addresses is not None:
+                addr_row = self._addresses[index]
+                carried_addrs, addr_row[slot] = addr_row[slot], carried_addrs
+            if relocations == self.max_kicks:
+                # Autonomic deletion: the record that would need one
+                # more relocation is evicted.  Occupied-slot count is
+                # unchanged (the new record took a slot, one was lost).
+                self.autonomic_deletions += 1
+                self._lcg = state
+                return
+            relocations += 1
+            self.total_relocations += 1
+            index = self.hasher.alt_index(index, carried_fp)
+            if self._try_place(index, carried_fp, carried_sec, None, carried_addrs):
+                self._lcg = state
+                return
+
+    def _try_place(
+        self,
+        index: int,
+        fp: int,
+        security: int,
+        key: int | None,
+        addrs: set[int] | None = None,
+    ) -> bool:
+        """Place a record in a vacancy of bucket ``index`` if any."""
+        row = self._fps[index]
+        if 0 not in row:
+            return False
+        slot = row.index(0)
+        row[slot] = fp
+        self._security[index][slot] = security
+        if self._addresses is not None:
+            if key is not None:
+                addrs = {key}
+            self._addresses[index][slot] = addrs if addrs is not None else set()
+        self.valid_count += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection / instrumentation
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of entry slots (l × b)."""
+        return self.geometry.entry_count
+
+    def occupancy(self) -> float:
+        """Fraction of slots holding a valid fingerprint."""
+        return self.valid_count / self.capacity
+
+    def entries(self) -> Iterator[tuple[int, int, int, int]]:
+        """Yield ``(bucket, slot, fingerprint, security)`` of valid slots."""
+        for index, row in enumerate(self._fps):
+            sec_row = self._security[index]
+            for slot, fp in enumerate(row):
+                if fp:
+                    yield index, slot, fp, sec_row[slot]
+
+    def bucket(self, index: int) -> tuple[int, ...]:
+        """Snapshot of one fingerprint bucket row (0 = empty slot)."""
+        return tuple(self._fps[index])
+
+    def entry_address_sets(self) -> Iterator[set[int]]:
+        """Shadow address sets of valid entries (instrumented only)."""
+        if self._addresses is None:
+            raise RuntimeError("filter was not created with instrument=True")
+        for index, row in enumerate(self._fps):
+            addr_row = self._addresses[index]
+            for slot, fp in enumerate(row):
+                if fp:
+                    entry = addr_row[slot]
+                    yield entry if entry is not None else set()
+
+    def holds_address(self, key: int) -> bool:
+        """Ground truth: does ``key``'s own record survive?
+
+        Requires instrumentation; distinguishes the target's record
+        from a colliding address's record, which ``contains`` cannot.
+        """
+        if self._addresses is None:
+            raise RuntimeError("filter was not created with instrument=True")
+        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        for index in (i1, i2):
+            row = self._fps[index]
+            addr_row = self._addresses[index]
+            for slot, stored in enumerate(row):
+                if stored == fp:
+                    entry = addr_row[slot]
+                    if entry is not None and key in entry:
+                        return True
+        return False
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return self.valid_count
+
+    def __repr__(self) -> str:
+        return (
+            f"AutoCuckooFilter(l={self.num_buckets}, "
+            f"b={self.entries_per_bucket}, "
+            f"f={self.hasher.fingerprint_bits}, MNK={self.max_kicks}, "
+            f"secThr={self.security_threshold}, "
+            f"load={self.occupancy():.3f})"
+        )

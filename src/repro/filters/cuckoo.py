@@ -1,0 +1,163 @@
+"""Classic Cuckoo filter (Fan, Andersen, Kaminsky & Mitzenmacher,
+CoNEXT'14) — the baseline the Auto-Cuckoo filter is built from.
+
+Semantics reproduced faithfully:
+
+* ``insert`` relocates randomly chosen victims along the partial-key
+  chain and **fails** once the chain length reaches MNK (the filter is
+  declared full); the last carried fingerprint is lost, exactly like
+  the reference implementation.
+* ``delete`` removes one matching fingerprint from a candidate bucket.
+  Because different addresses can share a fingerprint *and* candidate
+  buckets, deletion can remove another address's record — the *false
+  deletion* weakness Section V-A of the paper exploits and that the
+  Auto-Cuckoo filter closes by exposing no delete operation at all.
+
+The filter stores plain integer fingerprints; slot value 0 means empty.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.filters.hashing import PartialKeyHasher
+from repro.utils.rng import derive_rng
+
+#: Default maximal number of kicks for the *software* filter.  Fan et
+#: al. use 500; the paper quotes "100~1000" for classic filters.
+DEFAULT_SOFTWARE_MNK = 500
+
+
+class CuckooFilter:
+    """Classic cuckoo filter over integer keys.
+
+    Parameters mirror Table I of the paper: ``num_buckets`` = l,
+    ``entries_per_bucket`` = b, ``fingerprint_bits`` = f,
+    ``max_kicks`` = MNK.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int = 1024,
+        entries_per_bucket: int = 8,
+        fingerprint_bits: int = 12,
+        max_kicks: int = DEFAULT_SOFTWARE_MNK,
+        seed: int = 0,
+    ):
+        if entries_per_bucket < 1:
+            raise ValueError("entries_per_bucket must be >= 1")
+        if max_kicks < 0:
+            raise ValueError("max_kicks must be >= 0")
+        self.hasher = PartialKeyHasher(num_buckets, fingerprint_bits, seed=seed)
+        self.num_buckets = num_buckets
+        self.entries_per_bucket = entries_per_bucket
+        self.max_kicks = max_kicks
+        self._rng: random.Random = derive_rng(seed, "cuckoo-victim")
+        self._buckets: list[list[int]] = [
+            [0] * entries_per_bucket for _ in range(num_buckets)
+        ]
+        self.valid_count = 0
+        self.failed_inserts = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int) -> bool:
+        """Insert ``key``; False when the relocation chain exhausts MNK.
+
+        A failed insert has still displaced records along the chain and
+        lost the final victim, matching the reference implementation's
+        observable behaviour (the caller is expected to treat the
+        filter as full).
+        """
+        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        if self._place(i1, fp) or self._place(i2, fp):
+            return True
+        index = self._rng.choice((i1, i2))
+        carried = fp
+        for _ in range(self.max_kicks):
+            slot = self._rng.randrange(self.entries_per_bucket)
+            carried, self._buckets[index][slot] = (
+                self._buckets[index][slot],
+                carried,
+            )
+            index = self.hasher.alt_index(index, carried)
+            if self._place(index, carried):
+                return True
+        # Chain exhausted: the carried fingerprint is dropped and the
+        # insert reports failure (classic "filter is full").  The new
+        # fingerprint displaced a resident along the chain, so the
+        # number of occupied slots is unchanged.
+        self.failed_inserts += 1
+        return False
+
+    def contains(self, key: int) -> bool:
+        """Probabilistic membership: may false-positive, never
+        false-negatives for keys currently stored."""
+        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        return fp in self._buckets[i1] or fp in self._buckets[i2]
+
+    def delete(self, key: int) -> bool:
+        """Remove one record matching ``key``'s fingerprint.
+
+        Returns True when a record was removed.  May remove a *different*
+        address's record on fingerprint collision (false deletion).
+        """
+        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        for index in (i1, i2):
+            bucket = self._buckets[index]
+            if fp in bucket:
+                bucket[bucket.index(fp)] = 0
+                self.valid_count -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of entry slots (l × b)."""
+        return self.num_buckets * self.entries_per_bucket
+
+    def occupancy(self) -> float:
+        """Fraction of slots holding a valid fingerprint."""
+        return self.valid_count / self.capacity
+
+    def entries(self) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(bucket_index, slot, fingerprint)`` of valid slots."""
+        for index, bucket in enumerate(self._buckets):
+            for slot, fp in enumerate(bucket):
+                if fp:
+                    yield index, slot, fp
+
+    def bucket(self, index: int) -> tuple[int, ...]:
+        """Snapshot of one bucket row (0 = empty slot)."""
+        return tuple(self._buckets[index])
+
+    # ------------------------------------------------------------------
+
+    def _place(self, index: int, fp: int) -> bool:
+        """Place ``fp`` in a vacancy of bucket ``index`` if any."""
+        bucket = self._buckets[index]
+        if 0 in bucket:
+            bucket[bucket.index(0)] = fp
+            self.valid_count += 1
+            return True
+        return False
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return self.valid_count
+
+    def __repr__(self) -> str:
+        return (
+            f"CuckooFilter(l={self.num_buckets}, b={self.entries_per_bucket}, "
+            f"f={self.hasher.fingerprint_bits}, MNK={self.max_kicks}, "
+            f"load={self.occupancy():.3f})"
+        )

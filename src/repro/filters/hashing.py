@@ -1,0 +1,86 @@
+"""Partial-key cuckoo hashing (Section II-B of the paper).
+
+A record's two candidate bucket indices satisfy
+
+    h1(x) = hash(x)
+    h2(x) = h1(x) XOR hash(fingerprint(x))
+
+so either index can be recovered from the other plus the stored
+fingerprint — the property that lets a hardware filter relocate records
+it no longer has the original address for.  The XOR trick requires the
+bucket count to be a power of two so that the XOR of two valid indices
+is again a valid index.
+
+This module models the paper's three hardware hash blocks (``Hash1
+Module``, ``Hash2 Module``, ``fPrint Hash``) with independently salted
+splitmix64 mixes.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import is_power_of_two, mask, mix64
+
+#: Distinct salts so the index hash and the fingerprint hash are
+#: statistically independent functions, as separate hardware hash
+#: blocks would be.
+_SALT_INDEX = 0x1DEA
+_SALT_FPRINT = 0xF00D
+_SALT_ALT = 0xA17E
+
+
+class PartialKeyHasher:
+    """Computes fingerprints and candidate bucket indices.
+
+    Parameters
+    ----------
+    num_buckets:
+        ``l`` in the paper — number of bucket rows.  Must be a power of
+        two (required by the XOR alternate-index construction).
+    fingerprint_bits:
+        ``f`` in the paper — fingerprint width.  Fingerprints are
+        forced non-zero so 0 can encode an empty slot; the 1-bit valid
+        flag of the hardware layout is accounted separately in the
+        storage model.
+    seed:
+        Per-instance salt, so two filters never share hash functions.
+    """
+
+    def __init__(self, num_buckets: int, fingerprint_bits: int, seed: int = 0):
+        if not is_power_of_two(num_buckets):
+            raise ValueError(
+                f"num_buckets must be a power of two, got {num_buckets}"
+            )
+        if not 1 <= fingerprint_bits <= 32:
+            raise ValueError(
+                f"fingerprint_bits must be in [1, 32], got {fingerprint_bits}"
+            )
+        self.num_buckets = num_buckets
+        self.fingerprint_bits = fingerprint_bits
+        self._index_mask = num_buckets - 1
+        self._fp_mask = mask(fingerprint_bits)
+        self._seed = seed
+
+    def fingerprint(self, key: int) -> int:
+        """Return ``ξ_x`` — the non-zero ``f``-bit fingerprint of key."""
+        fp = mix64(key, salt=_SALT_FPRINT ^ self._seed) & self._fp_mask
+        # Zero encodes an empty slot; remap it to the all-ones pattern.
+        # This biases one codepoint (doubles its probability) which is
+        # the standard practical compromise and is negligible for f>=8.
+        return fp if fp else self._fp_mask
+
+    def index1(self, key: int) -> int:
+        """Return ``µ_x`` — the primary candidate bucket index."""
+        return mix64(key, salt=_SALT_INDEX ^ self._seed) & self._index_mask
+
+    def alt_index(self, index: int, fingerprint: int) -> int:
+        """Return the other candidate bucket for ``fingerprint``.
+
+        Involutive: ``alt_index(alt_index(i, fp), fp) == i``.
+        """
+        return (index ^ mix64(fingerprint, salt=_SALT_ALT ^ self._seed)) & self._index_mask
+
+    def candidate_buckets(self, key: int) -> tuple[int, int, int]:
+        """Return ``(fingerprint, µ_x, σ_x)`` for key in one call."""
+        fp = self.fingerprint(key)
+        i1 = self.index1(key)
+        return fp, i1, self.alt_index(i1, fp)

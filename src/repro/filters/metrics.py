@@ -1,0 +1,124 @@
+"""Measurement helpers for the filter experiments (Figs. 3 and 4).
+
+``occupancy_curve``   — occupancy versus insertion count, the quantity
+                        plotted in Fig. 3 for several MNK values.
+``collision_census``  — classifies valid entries of an *instrumented*
+                        Auto-Cuckoo filter by how many distinct
+                        addresses merged into them, the quantity in
+                        Fig. 4.
+``measure_false_positive_rate`` — empirical ε from random non-member
+                        queries, to compare against the analytic bound
+                        ε ≈ 2b / 2**f (Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.utils.rng import derive_rng
+
+#: Address space the paper samples from ("randomly pick addresses from
+#: memory address space"): 64 GiB of physical memory in 64-byte lines.
+DEFAULT_ADDRESS_SPACE_LINES = 1 << 30
+
+
+def theoretical_false_positive_rate(entries_per_bucket: int, fingerprint_bits: int) -> float:
+    """The paper's analytic bound: ε = 1 - (1 - 2**-f)**(2b) ≈ 2b/2**f."""
+    miss = (1.0 - 2.0 ** -fingerprint_bits) ** (2 * entries_per_bucket)
+    return 1.0 - miss
+
+
+def occupancy_curve(
+    fltr: AutoCuckooFilter,
+    insertions: int,
+    checkpoint_every: int,
+    seed: int = 1,
+    address_space: int = DEFAULT_ADDRESS_SPACE_LINES,
+) -> list[tuple[int, float]]:
+    """Insert random addresses; return ``(insertions, occupancy)`` points.
+
+    Reproduces the Fig. 3 methodology: "We randomly pick addresses from
+    memory address space and insert them into the filter using
+    different MNK."
+    """
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    rng = derive_rng(seed, "occupancy-addresses")
+    points = [(0, fltr.occupancy())]
+    for count in range(1, insertions + 1):
+        fltr.access(rng.randrange(address_space))
+        if count % checkpoint_every == 0 or count == insertions:
+            points.append((count, fltr.occupancy()))
+    return points
+
+
+@dataclass
+class CollisionCensus:
+    """Result of a Fig. 4 style census.
+
+    ``by_address_count`` maps the number of distinct addresses merged
+    into an entry (1 = no collision, 2, 3, ...) to the number of such
+    entries.  ``collision_ratio`` is the fraction of valid entries with
+    at least two distinct addresses.
+    """
+
+    valid_entries: int
+    by_address_count: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def collision_ratio(self) -> float:
+        if self.valid_entries == 0:
+            return 0.0
+        collided = sum(
+            count for n, count in self.by_address_count.items() if n >= 2
+        )
+        return collided / self.valid_entries
+
+    def ratio_with_at_least(self, n_addresses: int) -> float:
+        """Fraction of valid entries merged from >= n distinct addresses."""
+        if self.valid_entries == 0:
+            return 0.0
+        matched = sum(
+            count
+            for n, count in self.by_address_count.items()
+            if n >= n_addresses
+        )
+        return matched / self.valid_entries
+
+
+def collision_census(fltr: AutoCuckooFilter) -> CollisionCensus:
+    """Classify an instrumented filter's entries by collision degree."""
+    counts: dict[int, int] = {}
+    valid = 0
+    for address_set in fltr.entry_address_sets():
+        valid += 1
+        n = max(1, len(address_set))
+        counts[n] = counts.get(n, 0) + 1
+    return CollisionCensus(valid_entries=valid, by_address_count=dict(sorted(counts.items())))
+
+
+def measure_false_positive_rate(
+    fltr: AutoCuckooFilter | object,
+    inserted: set[int],
+    probes: int,
+    seed: int = 2,
+    address_space: int = DEFAULT_ADDRESS_SPACE_LINES,
+) -> float:
+    """Empirical ε: fraction of never-inserted probes reported present.
+
+    Works for any filter exposing ``contains``.
+    """
+    if probes < 1:
+        raise ValueError("probes must be >= 1")
+    rng = derive_rng(seed, "fp-probes")
+    hits = 0
+    tested = 0
+    while tested < probes:
+        key = rng.randrange(address_space)
+        if key in inserted:
+            continue
+        tested += 1
+        if fltr.contains(key):  # type: ignore[attr-defined]
+            hits += 1
+    return hits / probes

@@ -1,0 +1,8 @@
+"""Memory-side substrate: DRAM timing and the on-chip memory controller
+that hosts PiPoMonitor (Fig. 2 of the paper places the monitor inside
+the MC, observing the memory fetch queue)."""
+
+from repro.memory.controller import MemoryController
+from repro.memory.dram import DramModel
+
+__all__ = ["DramModel", "MemoryController"]

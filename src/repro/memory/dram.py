@@ -1,0 +1,70 @@
+"""DRAM timing model.
+
+Table II specifies a flat "200-cycle latency" DRAM, which is the
+default here.  An optional open-page (row-buffer) mode is provided for
+sensitivity studies: consecutive accesses to the same DRAM row within a
+bank complete faster, misses pay a precharge penalty on top.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import is_power_of_two
+
+DEFAULT_DRAM_LATENCY = 200
+
+
+class DramModel:
+    """Per-access DRAM latency.
+
+    Parameters
+    ----------
+    latency:
+        Baseline access latency in core cycles (Table II: 200).
+    open_page:
+        Enable the row-buffer model.  Off by default to match the
+        paper's flat-latency configuration.
+    num_banks / row_bytes:
+        Row-buffer geometry when ``open_page`` is enabled.
+    """
+
+    def __init__(
+        self,
+        latency: int = DEFAULT_DRAM_LATENCY,
+        open_page: bool = False,
+        num_banks: int = 8,
+        row_bytes: int = 8192,
+        row_hit_fraction: float = 0.6,
+        row_miss_penalty_fraction: float = 0.25,
+    ):
+        if latency <= 0:
+            raise ValueError("latency must be positive")
+        if not is_power_of_two(num_banks):
+            raise ValueError("num_banks must be a power of two")
+        if not is_power_of_two(row_bytes):
+            raise ValueError("row_bytes must be a power of two")
+        self.latency = latency
+        self.open_page = open_page
+        self.num_banks = num_banks
+        self.row_bytes = row_bytes
+        self._row_hit_latency = max(1, int(latency * row_hit_fraction))
+        self._row_miss_latency = latency + int(latency * row_miss_penalty_fraction)
+        self._open_rows: list[int | None] = [None] * num_banks
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def access_latency(self, byte_address: int) -> int:
+        """Latency of one line fetch at ``byte_address``."""
+        if not self.open_page:
+            return self.latency
+        row = byte_address // self.row_bytes
+        bank = row & (self.num_banks - 1)
+        if self._open_rows[bank] == row:
+            self.row_hits += 1
+            return self._row_hit_latency
+        self._open_rows[bank] = row
+        self.row_misses += 1
+        return self._row_miss_latency
+
+    def __repr__(self) -> str:
+        mode = "open-page" if self.open_page else "flat"
+        return f"DramModel({self.latency} cycles, {mode})"

@@ -1,0 +1,38 @@
+"""Shared utilities: deterministic hashing, RNG derivation, statistics,
+and the discrete-event queue used by the timing simulator."""
+
+from repro.utils.bitops import (
+    is_power_of_two,
+    log2_exact,
+    mask,
+    mix64,
+    splitmix64_stream,
+)
+from repro.utils.events import Event, EventQueue
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.stats import (
+    RunningStat,
+    confidence_interval_95,
+    geometric_mean,
+    histogram,
+    mean,
+    population_stdev,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "RunningStat",
+    "confidence_interval_95",
+    "derive_rng",
+    "derive_seed",
+    "geometric_mean",
+    "histogram",
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "mean",
+    "mix64",
+    "population_stdev",
+    "splitmix64_stream",
+]

@@ -1,0 +1,73 @@
+"""Deterministic 64-bit mixing primitives.
+
+Hardware hash blocks (the filter's ``Hash1``/``Hash2``/``fPrint Hash``
+modules, the LLC slice hash) need cheap, stateless, well-mixed integer
+hashes.  We model them with the splitmix64 finalizer, a standard
+invertible avalanche mix whose output bits each depend on every input
+bit.  Everything here is pure arithmetic on Python ints truncated to 64
+bits, so results are identical across platforms and runs.
+"""
+
+from __future__ import annotations
+
+_U64 = (1 << 64) - 1
+
+#: Odd multiplicative constants from the splitmix64 reference
+#: implementation (Steele, Lea & Flood, OOPSLA'14).
+_MIX_MULT_1 = 0xBF58476D1CE4E5B9
+_MIX_MULT_2 = 0x94D049BB133111EB
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def mix64(value: int, salt: int = 0) -> int:
+    """Return a 64-bit avalanche mix of ``value``.
+
+    ``salt`` selects one of 2**64 statistically independent hash
+    functions; different hardware hash modules use different salts.
+    """
+    z = (value + (salt + 1) * _GOLDEN_GAMMA) & _U64
+    z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+    z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+    return z ^ (z >> 31)
+
+
+def splitmix64_stream(seed: int, count: int) -> list[int]:
+    """Return ``count`` consecutive splitmix64 outputs from ``seed``.
+
+    Used where a reproducible stream of well-distributed 64-bit values
+    is needed without constructing a ``random.Random``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    out = []
+    state = seed & _U64
+    for _ in range(count):
+        state = (state + _GOLDEN_GAMMA) & _U64
+        out.append(mix64(state))
+    return out
+
+
+def mask(bits: int) -> int:
+    """Return a mask with the ``bits`` low bits set (``bits >= 0``)."""
+    if bits < 0:
+        raise ValueError("bit width must be non-negative")
+    return (1 << bits) - 1
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two, else raise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def bit_select(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``."""
+    if low < 0 or width < 0:
+        raise ValueError("low and width must be non-negative")
+    return (value >> low) & mask(width)

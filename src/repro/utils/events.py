@@ -1,0 +1,78 @@
+"""Discrete-event queue for the timing simulator.
+
+PiPoMonitor schedules *delayed prefetches* ("the latter waits for a
+pre-defined delay, and then sends a request to the memory fetch queue")
+— those are events with a future timestamp.  The multicore scheduler
+drains all events whose timestamp is not after the global clock before
+advancing any core past that point, so event side effects interleave
+with core memory accesses in timestamp order.
+
+Ties are broken by insertion order (FIFO), which keeps simulations
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by ``(time, sequence)``."""
+
+    time: int
+    sequence: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, time: int, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to fire at ``time``; returns the Event."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=time, sequence=self._sequence, action=action, label=label)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def next_time(self) -> int | None:
+        """Timestamp of the earliest live event, or None when empty."""
+        self._discard_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def run_until(self, time: int) -> int:
+        """Fire every live event with ``event.time <= time``.
+
+        Events scheduled *by* fired actions are honoured if they also
+        fall inside the window.  Returns the number of actions fired.
+        """
+        fired = 0
+        while True:
+            self._discard_cancelled()
+            if not self._heap or self._heap[0].time > time:
+                return fired
+            event = heapq.heappop(self._heap)
+            event.action()
+            fired += 1
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

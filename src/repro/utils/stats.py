@@ -1,0 +1,127 @@
+"""Small statistics helpers used by experiments and tests.
+
+Pure-Python so the core library has no hard dependency on numpy; the
+experiment harnesses may still use numpy for bulk work.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def population_stdev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for a single value."""
+    if not values:
+        raise ValueError("stdev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    The conventional aggregate for normalized-performance numbers
+    (Fig. 8a reports per-mix normalized performance; we aggregate
+    across mixes with the geomean).
+    """
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def confidence_interval_95(values: Sequence[float]) -> tuple[float, float]:
+    """Normal-approximation 95 % CI of the mean (half-width form).
+
+    Returns ``(mean, half_width)``.  With fewer than two samples the
+    half-width is 0.
+    """
+    mu = mean(values)
+    if len(values) < 2:
+        return mu, 0.0
+    variance = sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+    half = 1.96 * math.sqrt(variance / len(values))
+    return mu, half
+
+
+def histogram(values: Iterable[int]) -> dict[int, int]:
+    """Counting histogram of integer values, sorted by key."""
+    counts: dict[int, int] = {}
+    for v in values:
+        counts[v] = counts.get(v, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+class RunningStat:
+    """Welford online mean/variance accumulator.
+
+    Used by long simulations to accumulate latency statistics without
+    storing every sample.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the samples seen so far (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another accumulator into this one (parallel merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStat(count={self.count}, mean={self.mean:.4g}, "
+            f"stdev={self.stdev:.4g})"
+        )

@@ -1,0 +1,35 @@
+"""Table III: the 10 four-benchmark workload mixes."""
+
+from __future__ import annotations
+
+from repro.workloads.spec import SpecWorkload, spec_workload
+
+#: Verbatim from Table III of the paper.
+TABLE_III_MIXES: dict[str, tuple[str, str, str, str]] = {
+    "mix1": ("libquantum", "mcf", "sphinx3", "gobmk"),
+    "mix2": ("sphinx3", "libquantum", "bzip2", "sjeng"),
+    "mix3": ("gobmk", "bzip2", "hmmer", "sjeng"),
+    "mix4": ("libquantum", "sjeng", "calculix", "h264ref"),
+    "mix5": ("astar", "libquantum", "mcf", "calculix"),
+    "mix6": ("astar", "mcf", "gromacs", "h264ref"),
+    "mix7": ("gcc", "milc", "gobmk", "calculix"),
+    "mix8": ("gcc", "mcf", "gromacs", "astar"),
+    "mix9": ("h264ref", "astar", "sjeng", "gcc"),
+    "mix10": ("gromacs", "gobmk", "gcc", "hmmer"),
+}
+
+
+def mix_names() -> list[str]:
+    """The mixes in paper order (mix1..mix10)."""
+    return list(TABLE_III_MIXES)
+
+
+def mix_workloads(mix_name: str) -> list[SpecWorkload]:
+    """Instantiate the four benchmark models of one mix, in core order."""
+    try:
+        components = TABLE_III_MIXES[mix_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mix {mix_name!r}; known: {mix_names()}"
+        ) from None
+    return [spec_workload(name) for name in components]

@@ -1,0 +1,160 @@
+"""Tests for the defense-aware filter adversaries (§VI-B, Fig. 7)."""
+
+import pytest
+
+from repro.attacks.filter_attacks import (
+    analytic_eviction_set_size,
+    brute_force_attack,
+    brute_force_expectation,
+    false_deletion_attack,
+    fill_to_capacity,
+    targeted_fill_attack,
+)
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.filters.cuckoo import CuckooFilter
+
+
+def full_filter(**overrides):
+    params = dict(
+        num_buckets=32, entries_per_bucket=4, fingerprint_bits=14,
+        max_kicks=4, seed=5, instrument=True,
+    )
+    params.update(overrides)
+    fltr = AutoCuckooFilter(**params)
+    fill_to_capacity(fltr, seed=11)
+    return fltr
+
+
+class TestAnalyticEvictionSetSize:
+    def test_paper_configuration(self):
+        """b=8, MNK=4 → 32768 addresses (Section VI-B)."""
+        assert analytic_eviction_set_size(8, 4) == 32768
+
+    def test_exponential_in_mnk(self):
+        sizes = [analytic_eviction_set_size(8, mnk) for mnk in range(4)]
+        assert sizes == [8, 64, 512, 4096]
+
+    def test_reverse_attack_costlier_than_brute_force(self):
+        """The design argument: at MNK=4 the eviction set (32768)
+        exceeds the brute-force expectation (b·l = 8192)."""
+        assert analytic_eviction_set_size(8, 4) > 8 * 1024
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            analytic_eviction_set_size(0, 4)
+        with pytest.raises(ValueError):
+            analytic_eviction_set_size(8, -1)
+
+
+class TestFillToCapacity:
+    def test_reaches_full_occupancy(self):
+        fltr = AutoCuckooFilter(num_buckets=16, entries_per_bucket=4,
+                                max_kicks=4, seed=3, instrument=True)
+        fills = fill_to_capacity(fltr, seed=4)
+        assert fltr.occupancy() == 1.0
+        assert fills >= fltr.capacity
+
+    def test_respects_cap(self):
+        fltr = AutoCuckooFilter(num_buckets=64, entries_per_bucket=8,
+                                max_kicks=0, seed=3)
+        with pytest.raises(RuntimeError):
+            fill_to_capacity(fltr, seed=4, max_fills=10)
+
+
+class TestBruteForce:
+    def test_eventually_evicts_target(self):
+        fltr = full_filter()
+        result = brute_force_attack(fltr, target=0xABCDE, seed=6)
+        assert result.evicted
+        assert result.fills > 0
+
+    def test_requires_instrumented_filter(self):
+        fltr = AutoCuckooFilter(num_buckets=16, instrument=False)
+        with pytest.raises(ValueError):
+            brute_force_attack(fltr, target=1)
+
+    def test_respects_fill_cap(self):
+        fltr = full_filter()
+        result = brute_force_attack(fltr, target=0xABCDE, seed=6,
+                                    max_fills=1)
+        if not result.evicted:
+            assert result.fills == 1
+
+    def test_expectation_matches_capacity(self):
+        """Section VI-B: expected fills ≈ b·l (loose Monte-Carlo
+        bounds; the distribution is geometric with stdev ≈ mean)."""
+        mean_fills, capacity = brute_force_expectation(
+            runs=40, num_buckets=32, entries_per_bucket=4, seed=7,
+        )
+        assert 0.5 * capacity < mean_fills < 2.0 * capacity
+
+    def test_expectation_rejects_zero_runs(self):
+        with pytest.raises(ValueError):
+            brute_force_expectation(runs=0)
+
+
+class TestTargetedFill:
+    def test_mnk_zero_linear_cost(self):
+        """Fig. 7: with MNK=0 the crafted eviction needs ~b fills."""
+        results = [
+            targeted_fill_attack(0, num_buckets=16, entries_per_bucket=4,
+                                 seed=s)
+            for s in range(6)
+        ]
+        assert all(r.evicted for r in results)
+        mean = sum(r.fills for r in results) / len(results)
+        assert mean < 4 * 4  # well under b², in the b ballpark
+
+    def test_cost_grows_with_mnk(self):
+        """The reverse-engineering wall: relocation randomness makes
+        the crafted attack converge toward brute-force cost (b·l-class)
+        as MNK grows, instead of staying at ~b fills."""
+        def mean_fills(mnk, runs=12):
+            total = 0
+            for s in range(runs):
+                result = targeted_fill_attack(
+                    mnk, num_buckets=16, entries_per_bucket=4,
+                    seed=100 + s, max_fills=300_000,
+                )
+                assert result.evicted
+                total += result.fills
+            return total / runs
+
+        cost0 = mean_fills(0)
+        cost2 = mean_fills(2)
+        assert cost2 > 1.5 * cost0
+        # MNK=0 stays in the ~2b ballpark (crafted attack effective).
+        assert cost0 < 4 * 4
+
+    def test_result_fields(self):
+        result = targeted_fill_attack(1, num_buckets=16,
+                                      entries_per_bucket=4, seed=9)
+        assert result.max_kicks == 1
+        assert result.entries_per_bucket == 4
+
+
+class TestFalseDeletion:
+    def test_classic_filter_vulnerable(self):
+        fltr = CuckooFilter(num_buckets=16, entries_per_bucket=4,
+                            fingerprint_bits=8, seed=4)
+        target = 987654
+        fltr.insert(target)
+        result = false_deletion_attack(fltr, target, seed=5)
+        assert result.alias is not None
+        assert result.target_removed
+        assert not fltr.contains(target)
+
+    def test_search_limit_respected(self):
+        fltr = CuckooFilter(num_buckets=1024, entries_per_bucket=4,
+                            fingerprint_bits=16, seed=4)
+        fltr.insert(42)
+        result = false_deletion_attack(fltr, 42, seed=5, search_limit=10)
+        assert result.alias is None
+        assert result.searched == 10
+        assert fltr.contains(42)
+
+    def test_auto_cuckoo_has_no_deletion_surface(self):
+        """The attack cannot even be expressed against the Auto-Cuckoo
+        filter: there is no delete operation."""
+        fltr = AutoCuckooFilter(num_buckets=16)
+        assert not hasattr(fltr, "delete")

@@ -1,0 +1,132 @@
+"""Mechanical details the attack's correctness rests on: zigzag
+probing, self-clocked scheduling, and eviction-set reduction against
+the real LLC."""
+
+import pytest
+
+from repro.attacks.evictionset import build_eviction_set, reduce_eviction_set
+from repro.attacks.primeprobe import (
+    ATTACKER_CORE,
+    VICTIM_CORE,
+    PrimeProbeAttacker,
+    run_prime_probe_attack,
+)
+from repro.cache.llc import SlicedLLC
+from repro.workloads.base import core_data_base
+from repro.workloads.trace import record_trace
+
+
+class TestZigzagProbing:
+    def test_probe_direction_alternates(self):
+        attacker = PrimeProbeAttacker(iterations=4, probe_period=1000)
+        attacker.eviction_sets = [[100 * 64, 200 * 64, 300 * 64]]
+        records = record_trace(attacker, core_id=0, seed=1, max_ops=50,
+                               fed_latency=55)
+        addresses = [r.address for r in records if r.op is not None]
+        prime = addresses[:3]
+        probe_rounds = [addresses[3 + i * 3:6 + i * 3] for i in range(4)]
+        assert probe_rounds[0] == list(reversed(prime))
+        assert probe_rounds[1] == prime
+        assert probe_rounds[2] == list(reversed(prime))
+
+    def test_baseline_observes_nothing_without_victim(self):
+        """No victim activity → a zigzag probe must be silent (no
+        self-eviction cascades)."""
+        result = run_prime_probe_attack(
+            monitor_enabled=False, iterations=30, seed=5,
+            key=[0] * 30,  # victim never touches the square line
+        )
+        # After warmup, the square line is never observed.
+        assert sum(result.square_observed[3:]) == 0
+
+    def test_always_one_key_always_observed(self):
+        result = run_prime_probe_attack(
+            monitor_enabled=False, iterations=30, seed=5,
+            key=[1] * 30,
+        )
+        assert sum(result.square_observed[2:]) >= 26
+
+
+class TestSelfClocking:
+    def test_probe_lands_each_period(self):
+        attacker = PrimeProbeAttacker(iterations=5, probe_period=5000)
+        attacker.eviction_sets = [[100 * 64]]
+        records = record_trace(attacker, core_id=0, seed=1, max_ops=40,
+                               fed_latency=255)
+        clock = 0
+        probe_times = []
+        memops = 0
+        for r in records:
+            clock += r.compute
+            if r.op is not None:
+                memops += 1
+                if memops > 1:  # skip the initial prime access
+                    probe_times.append(clock)
+                clock += 255
+        # Probe i fires at (i+1)*P regardless of accumulated latency.
+        assert probe_times == [5000, 10000, 15000, 20000, 25000]
+
+    def test_observations_carry_monotonic_clock(self):
+        result = run_prime_probe_attack(
+            monitor_enabled=False, iterations=10, seed=2,
+        )
+        clocks = [obs.clock for obs in result.observations]
+        assert clocks == sorted(clocks)
+
+
+class TestEvictionSetOnRealLlc:
+    def test_reduction_with_simulator_oracle(self):
+        """Group-testing reduction driven by a real LLC occupancy
+        oracle finds a ways-sized eviction set from a noisy pool."""
+        llc = SlicedLLC(size_bytes=64 * 1024, ways=4, num_slices=2, seed=9)
+        target_line = (core_data_base(VICTIM_CORE) + 0x9000) // 64
+
+        pool = [
+            addr // 64
+            for addr in build_eviction_set(
+                llc, target_line * 64, core_data_base(ATTACKER_CORE),
+                size=8,
+            )
+        ]
+        # Pad with non-congruent noise lines.
+        noise_base = core_data_base(ATTACKER_CORE) // 64 + 1
+        pool += [noise_base + k for k in range(24)]
+
+        def evicts(candidate_lines):
+            probe = SlicedLLC(size_bytes=64 * 1024, ways=4, num_slices=2,
+                              seed=9)
+            probe.insert(target_line)
+            for line in candidate_lines:
+                if probe.lookup(line) is None:
+                    probe.insert(line)
+            return probe.lookup(target_line) is None
+
+        reduced = reduce_eviction_set(pool, evicts, associativity=4)
+        assert len(reduced) <= 8
+        assert evicts(reduced)
+        assert all(llc.congruent(line, target_line) for line in reduced)
+
+
+class TestAttackConfigurationSpace:
+    def test_custom_key_respected(self):
+        key = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+        result = run_prime_probe_attack(
+            monitor_enabled=False, iterations=10, seed=1, key=key,
+        )
+        assert result.key_bits == key
+
+    def test_iterations_bounded_by_request(self):
+        result = run_prime_probe_attack(
+            monitor_enabled=True, iterations=15, seed=1,
+        )
+        assert len(result.square_observed) == 15
+        assert max(o.iteration for o in result.observations) == 14
+
+    def test_probe_period_scales_timeline(self):
+        fast = run_prime_probe_attack(
+            monitor_enabled=False, iterations=5, seed=1, probe_period=2000,
+        )
+        slow = run_prime_probe_attack(
+            monitor_enabled=False, iterations=5, seed=1, probe_period=8000,
+        )
+        assert fast.observations[-1].clock < slow.observations[-1].clock

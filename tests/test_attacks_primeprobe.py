@@ -1,0 +1,148 @@
+"""Integration tests for the Fig. 6 Prime+Probe scenario.
+
+These are the headline security claims: the baseline system leaks the
+square-and-multiply key; PiPoMonitor obfuscates the probe signal.
+"""
+
+import pytest
+
+from repro.attacks.analysis import (
+    infer_bits_from_observations,
+    key_recovery,
+    render_timeline,
+)
+from repro.attacks.primeprobe import PrimeProbeAttacker, run_prime_probe_attack
+
+ITERATIONS = 80
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    return run_prime_probe_attack(
+        monitor_enabled=False, iterations=ITERATIONS, seed=SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def defended_result():
+    return run_prime_probe_attack(
+        monitor_enabled=True, iterations=ITERATIONS, seed=SEED
+    )
+
+
+class TestBaselineLeak:
+    def test_attack_recovers_key(self, baseline_result):
+        recovery = key_recovery(
+            baseline_result.square_observed, baseline_result.key_bits
+        )
+        assert recovery.leaks
+        assert recovery.steady_accuracy > 0.7
+
+    def test_multiply_mostly_observed(self, baseline_result):
+        """The always-executed routine is observed nearly every
+        iteration (its line ping-pongs by construction)."""
+        observed = sum(baseline_result.multiply_observed[5:])
+        assert observed > 0.7 * (ITERATIONS - 5)
+
+    def test_observation_counts(self, baseline_result):
+        assert len(baseline_result.square_observed) == ITERATIONS
+        assert len(baseline_result.observations) == 2 * ITERATIONS
+
+    def test_no_monitor_stats(self, baseline_result):
+        assert baseline_result.monitor_stats is None
+
+
+class TestDefendedObfuscation:
+    def test_key_not_recovered(self, defended_result):
+        recovery = key_recovery(
+            defended_result.square_observed, defended_result.key_bits
+        )
+        assert not recovery.leaks
+
+    def test_defense_beats_baseline(self, baseline_result, defended_result):
+        base = key_recovery(
+            baseline_result.square_observed, baseline_result.key_bits
+        )
+        defended = key_recovery(
+            defended_result.square_observed, defended_result.key_bits
+        )
+        assert defended.steady_accuracy < base.steady_accuracy - 0.1
+
+    def test_attacker_observes_regardless_of_key(self, defended_result):
+        """Fig. 6(b): 'no matter whether the victim has accessed, the
+        attacker always observes accesses' — the square set shows
+        activity in most iterations, including 0-bit ones."""
+        steady = defended_result.square_observed[20:]
+        assert sum(steady) > 0.6 * len(steady)
+        zero_iters = [
+            observed
+            for observed, bit in zip(
+                defended_result.square_observed[20:],
+                defended_result.key_bits[20:],
+            )
+            if bit == 0
+        ]
+        assert zero_iters, "key should contain zero bits"
+        assert sum(zero_iters) > 0.4 * len(zero_iters)
+
+    def test_monitor_captured_and_prefetched(self, defended_result):
+        stats = defended_result.monitor_stats
+        assert stats.captures > 0
+        assert stats.prefetches_issued > 0
+
+
+class TestAttackerMechanics:
+    def test_eviction_sets_match_llc_ways(self, baseline_result):
+        assert baseline_result.extra["eviction_set_sizes"] == [16, 16]
+
+    def test_unassigned_eviction_sets_rejected(self):
+        attacker = PrimeProbeAttacker(iterations=5)
+        generator = attacker.generator(0, seed=1)
+        with pytest.raises(RuntimeError):
+            next(generator)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PrimeProbeAttacker(iterations=0)
+        with pytest.raises(ValueError):
+            PrimeProbeAttacker(iterations=1, probe_period=0)
+
+    def test_deterministic(self):
+        a = run_prime_probe_attack(False, iterations=20, seed=9)
+        b = run_prime_probe_attack(False, iterations=20, seed=9)
+        assert a.square_observed == b.square_observed
+        assert a.key_bits == b.key_bits
+
+
+class TestAnalysisUnits:
+    def test_infer_bits(self):
+        assert infer_bits_from_observations([True, False, True]) == [1, 0, 1]
+
+    def test_perfect_recovery(self):
+        recovery = key_recovery([True, False, True, False], [1, 0, 1, 0],
+                                warmup=0)
+        assert recovery.accuracy == 1.0
+        assert recovery.leaks
+
+    def test_constant_observation_no_leak(self):
+        bits = [1, 0] * 20
+        recovery = key_recovery([True] * 40, bits, warmup=4)
+        assert recovery.steady_accuracy == pytest.approx(0.5)
+        assert not recovery.leaks
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            key_recovery([True], [1, 0])
+
+    def test_bad_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            key_recovery([True], [1], warmup=1)
+
+    def test_render_timeline_shape(self):
+        art = render_timeline([True, False], [True, True], [1, 0])
+        assert "●·" in art and "●●" in art and "10" in art
+
+    def test_render_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            render_timeline([True], [True, False], [1, 0])

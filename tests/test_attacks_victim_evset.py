@@ -1,0 +1,166 @@
+"""Unit tests for the victim model and eviction-set construction."""
+
+import pytest
+
+from repro.attacks.evictionset import build_eviction_set, reduce_eviction_set
+from repro.attacks.victim import SquareMultiplyVictim, random_key
+from repro.cache.hierarchy import OP_IFETCH
+from repro.cache.llc import SlicedLLC
+from repro.workloads.base import core_data_base
+from repro.workloads.trace import record_trace
+
+
+class TestRandomKey:
+    def test_length_and_alphabet(self):
+        key = random_key(128, seed=1)
+        assert len(key) == 128
+        assert set(key) <= {0, 1}
+
+    def test_deterministic(self):
+        assert random_key(64, seed=2) == random_key(64, seed=2)
+        assert random_key(64, seed=2) != random_key(64, seed=3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            random_key(0, seed=1)
+
+
+class TestVictim:
+    def test_bit_one_touches_square_and_multiply(self):
+        victim = SquareMultiplyVictim([1], iteration_cycles=100,
+                                      repetitions=1)
+        records = record_trace(victim, core_id=1, max_ops=10)
+        fetches = [r.address for r in records if r.op == OP_IFETCH]
+        assert fetches == [
+            victim.square_address(1), victim.multiply_address(1)
+        ]
+
+    def test_bit_zero_touches_multiply_only(self):
+        victim = SquareMultiplyVictim([0], iteration_cycles=100,
+                                      repetitions=1)
+        records = record_trace(victim, core_id=1, max_ops=10)
+        fetches = [r.address for r in records if r.op == OP_IFETCH]
+        assert fetches == [victim.multiply_address(1)]
+
+    def test_sequence_follows_key(self):
+        key = [1, 0, 1, 1, 0]
+        victim = SquareMultiplyVictim(key, iteration_cycles=100,
+                                      repetitions=1)
+        records = record_trace(victim, core_id=1, max_ops=50)
+        square = victim.square_address(1)
+        squares = sum(1 for r in records if r.address == square and r.op is not None)
+        assert squares == sum(key)
+
+    def test_targets_on_distinct_lines(self):
+        victim = SquareMultiplyVictim([1], iteration_cycles=100)
+        assert victim.square_address(1) // 64 != victim.multiply_address(1) // 64
+
+    def test_self_clocked_pacing(self):
+        """Fetches land mid-window: compute gaps re-align the clock."""
+        victim = SquareMultiplyVictim([1, 1, 1], iteration_cycles=1000,
+                                      repetitions=1)
+        records = record_trace(victim, core_id=1, max_ops=30,
+                               fed_latency=255)
+        clock = 0
+        fetch_times = []
+        for r in records:
+            clock += r.compute
+            if r.op is not None:
+                fetch_times.append(clock)
+                clock += 255
+        # First fetch of each iteration at i*1000 + 500.
+        firsts = fetch_times[::2]
+        assert firsts == [500, 1500, 2500]
+
+    def test_ground_truth_cycles_key(self):
+        victim = SquareMultiplyVictim([1, 0], iteration_cycles=100)
+        assert victim.ground_truth(5) == [1, 0, 1, 0, 1]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SquareMultiplyVictim([])
+        with pytest.raises(ValueError):
+            SquareMultiplyVictim([2])
+        with pytest.raises(ValueError):
+            SquareMultiplyVictim([1], iteration_cycles=0)
+        with pytest.raises(ValueError):
+            SquareMultiplyVictim([1], repetitions=0)
+        with pytest.raises(ValueError):
+            SquareMultiplyVictim([1]).ground_truth(-1)
+
+
+class TestBuildEvictionSet:
+    def make_llc(self):
+        return SlicedLLC(size_bytes=256 * 1024, ways=8, num_slices=4, seed=3)
+
+    def test_all_addresses_congruent_with_target(self):
+        llc = self.make_llc()
+        target = core_data_base(1) + 0x12345 * 64
+        addresses = build_eviction_set(llc, target, core_data_base(0))
+        assert len(addresses) == llc.ways
+        for addr in addresses:
+            assert llc.congruent(addr // 64, target // 64)
+
+    def test_addresses_within_attacker_region(self):
+        llc = self.make_llc()
+        target = core_data_base(1)
+        base = core_data_base(0)
+        for addr in build_eviction_set(llc, target, base):
+            assert addr >= base
+
+    def test_addresses_distinct(self):
+        llc = self.make_llc()
+        addresses = build_eviction_set(llc, core_data_base(1), core_data_base(0), size=12)
+        assert len(set(addresses)) == 12
+
+    def test_custom_size(self):
+        llc = self.make_llc()
+        addresses = build_eviction_set(llc, 0, core_data_base(0), size=3)
+        assert len(addresses) == 3
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            build_eviction_set(self.make_llc(), 0, 0, size=0)
+
+    def test_filling_set_evicts_target(self):
+        """End-to-end: inserting the eviction set into the LLC removes
+        the target line."""
+        llc = self.make_llc()
+        target_line = (core_data_base(1) + 0x4000) // 64
+        llc.insert(target_line)
+        for addr in build_eviction_set(llc, target_line * 64, core_data_base(0)):
+            if llc.lookup(addr // 64) is None:
+                llc.insert(addr // 64)
+        assert llc.lookup(target_line) is None
+
+
+class TestReduceEvictionSet:
+    def oracle_for(self, congruent: set[int], associativity: int):
+        def evicts(subset):
+            return len([a for a in subset if a in congruent]) >= associativity
+        return evicts
+
+    def test_reduces_to_minimal(self):
+        congruent = {10, 20, 30, 40}
+        pool = list(range(100))
+        evicts = self.oracle_for(congruent, 4)
+        reduced = reduce_eviction_set(pool, evicts, associativity=4)
+        assert sorted(reduced) == sorted(congruent) or (
+            len(reduced) <= 8 and evicts(reduced)
+        )
+
+    def test_result_still_evicts(self):
+        congruent = set(range(0, 64, 8))
+        pool = list(range(64))
+        evicts = self.oracle_for(congruent, 8)
+        reduced = reduce_eviction_set(pool, evicts, associativity=8)
+        assert evicts(reduced)
+
+    def test_rejects_non_evicting_pool(self):
+        evicts = self.oracle_for({1, 2}, 4)
+        with pytest.raises(ValueError):
+            reduce_eviction_set([1, 2, 5], evicts, associativity=4)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            reduce_eviction_set([1], lambda s: True, associativity=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the sliced LLC."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.llc import SlicedLLC
+
+
+def make_llc(**overrides):
+    params = dict(size_bytes=256 * 1024, ways=4, num_slices=4, seed=5)
+    params.update(overrides)
+    return SlicedLLC(**params)
+
+
+class TestSliceMapping:
+    def test_table_ii_geometry(self):
+        llc = SlicedLLC()  # defaults: 4 MB, 16-way, 4 slices
+        assert llc.geometry.num_sets == 1024
+        assert llc.ways == 16
+        assert sum(s.geometry.num_lines for s in llc.slices) == 65536
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_slice_in_range(self, line_addr):
+        llc = make_llc()
+        assert 0 <= llc.slice_of(line_addr) < llc.num_slices
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_set_in_range(self, line_addr):
+        llc = make_llc()
+        assert 0 <= llc.set_of(line_addr) < llc.geometry.num_sets
+
+    def test_slice_distribution_roughly_uniform(self):
+        llc = make_llc()
+        counts = [0] * llc.num_slices
+        for line_addr in range(8000):
+            counts[llc.slice_of(line_addr)] += 1
+        assert min(counts) > 1500 and max(counts) < 2500
+
+    def test_congruent_reflexive(self):
+        llc = make_llc()
+        assert llc.congruent(1234, 1234)
+
+    def test_congruent_requires_same_slice_and_set(self):
+        llc = make_llc()
+        base = 0x1000
+        sets = llc.geometry.num_sets
+        # Same set index, but slice may differ: congruence demands both.
+        twin = base + sets
+        expected = llc.slice_of(base) == llc.slice_of(twin)
+        assert llc.congruent(base, twin) == expected
+
+    def test_rejects_bad_slices(self):
+        with pytest.raises(ValueError):
+            make_llc(num_slices=3)
+
+
+class TestLlcOperations:
+    def test_insert_lookup_remove(self):
+        llc = make_llc()
+        line, victim = llc.insert(42)
+        assert victim is None
+        assert llc.lookup(42) is line
+        assert 42 in llc
+        assert llc.remove(42) is line
+        assert llc.lookup(42) is None
+
+    def test_eviction_within_slice_set(self):
+        llc = make_llc()
+        target = 0x5000
+        # Build addresses congruent with the target until the set
+        # overflows.
+        congruent = []
+        candidate = target
+        while len(congruent) < llc.ways:
+            candidate += llc.geometry.num_sets
+            if llc.congruent(target, candidate):
+                congruent.append(candidate)
+        llc.insert(target)
+        victims = []
+        for addr in congruent:
+            _, victim = llc.insert(addr)
+            if victim is not None:
+                victims.append(victim.addr)
+        assert victims, "overfilling a set must evict"
+        assert target in victims  # LRU: the oldest line goes first
+
+    def test_set_lines_returns_congruent_lines(self):
+        llc = make_llc()
+        llc.insert(77)
+        lines = llc.set_lines(77)
+        assert any(line.addr == 77 for line in lines)
+
+    def test_len_counts_all_slices(self):
+        llc = make_llc()
+        for addr in range(10):
+            llc.insert(addr)
+        assert len(llc) == 10
+
+    def test_occupancy(self):
+        llc = make_llc()
+        assert llc.occupancy() == 0.0
+        llc.insert(1)
+        assert llc.occupancy() > 0.0
+
+    def test_evictions_counter_aggregates(self):
+        llc = make_llc()
+        assert llc.evictions == 0

@@ -1,0 +1,53 @@
+"""The examples must stay runnable: execute each as a subprocess with
+reduced inputs where supported."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "PING-PONG CAPTURED" in out
+        assert "line back in LLC? True" in out
+
+    def test_attack_demo(self):
+        out = run_example("attack_demo.py", "40")
+        assert "KEY LEAKS" in out
+        assert "no usable leak" in out
+
+    def test_performance_study(self):
+        out = run_example("performance_study.py", "mix3", "20000")
+        assert "normalized performance" in out
+        assert "false positives" in out
+
+    def test_filter_design_space(self):
+        out = run_example("filter_design_space.py")
+        assert "<- paper" in out
+        assert "MNK=4" in out
+
+    def test_reverse_attack_demo(self):
+        out = run_example("reverse_attack_demo.py")
+        assert "target record gone: True" in out
+        assert "hasattr(filter, 'delete') = False" in out
+
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py", "attack_demo.py", "performance_study.py",
+            "filter_design_space.py", "reverse_attack_demo.py",
+        } <= names

@@ -1,0 +1,149 @@
+"""Smoke + shape tests for the experiment harnesses at tiny scale.
+
+The benchmarks run each experiment at reporting scale; these tests run
+them at the smallest meaningful scale so the full pipeline (config →
+simulation → tables) is exercised inside the unit suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    baseline_comparison,
+    defense_ablation,
+    fig3_occupancy,
+    fig4_collisions,
+    fig6_attack,
+    fig7_reverse,
+    fig8_performance,
+    overhead_table,
+    secthr_sensitivity,
+)
+from repro.experiments.cli import EXPERIMENTS, main as cli_main
+from repro.experiments.common import (
+    ExperimentResult,
+    format_table,
+    instructions_per_core,
+    is_full_scale,
+    scaled_mix_workloads,
+    scaled_system_config,
+)
+
+
+class TestCommonInfrastructure:
+    def test_scaled_config_divides_uniformly(self):
+        config = scaled_system_config(full=False)
+        assert config.llc.size_bytes == 512 * 1024
+        assert config.l1.size_bytes == 8 * 1024
+        assert config.l2.size_bytes == 32 * 1024
+        assert config.filter.num_buckets == 128
+        # Associativities and latencies unchanged.
+        assert config.llc.ways == 16
+        assert config.llc.latency == 35
+
+    def test_full_config_is_table_ii(self):
+        config = scaled_system_config(full=True)
+        assert config.llc.size_bytes == 4 * 1024 * 1024
+        assert config.filter.num_buckets == 1024
+
+    def test_filter_size_override(self):
+        config = scaled_system_config(full=False, filter_size=(2048, 4))
+        assert config.filter.num_buckets == 256
+        assert config.filter.entries_per_bucket == 4
+
+    def test_scaled_mix_workloads_scale_working_sets(self):
+        scaled = scaled_mix_workloads("mix1", full=False)
+        full = scaled_mix_workloads("mix1", full=True)
+        assert [w.name for w in scaled] == [w.name for w in full]
+        assert (scaled[0].profile.working_set_bytes
+                < full[0].profile.working_set_bytes)
+
+    def test_is_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert is_full_scale()
+        monkeypatch.setenv("REPRO_FULL", "")
+        assert not is_full_scale()
+        assert is_full_scale(True)
+
+    def test_instructions_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INSNS", "1234")
+        assert instructions_per_core() == 1234
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_result_rendering(self):
+        result = ExperimentResult("x", "title")
+        result.add_table("t", ["h"], [[1]])
+        result.add_note("a note")
+        text = result.to_text()
+        assert "title" in text and "a note" in text
+
+
+class TestExperimentSmoke:
+    def test_fig3_small(self):
+        result = fig3_occupancy.run(seed=1, insertions=2000,
+                                    checkpoint_every=250)
+        assert result.experiment_id == "fig3"
+        assert result.data["curves"]
+
+    def test_fig4_small(self):
+        result = fig4_collisions.run(seed=1, insertions=20_000)
+        rows = {row[0]: row for row in result.data["rows"]}
+        assert rows[8][1] >= rows[16][1]
+
+    def test_fig6_small(self):
+        result = fig6_attack.run(seed=3, iterations=30)
+        assert len(result.data["baseline"].square_observed) == 30
+        assert result.data["defended"].monitor_stats is not None
+
+    def test_fig7_small(self):
+        result = fig7_reverse.run(seed=1, brute_runs=2, targeted_runs=2)
+        assert result.data["brute_mean"] > 0
+        assert 0 in result.data["targeted_means"]
+
+    def test_fig8_small(self):
+        result = fig8_performance.run(
+            seed=1, mixes=["mix3"], filter_sizes=((1024, 8),),
+            instructions=20_000,
+        )
+        assert ("mix3", (1024, 8)) in result.data["normalized"]
+        assert result.data["instructions"] == 20_000
+
+    def test_secthr_small(self):
+        result = secthr_sensitivity.run(
+            seed=1, mixes=("mix3",), instructions=20_000,
+        )
+        assert set(result.data["means"]) == {1, 2, 3}
+
+    def test_overhead(self):
+        result = overhead_table.run()
+        assert result.data["report"].filter_storage_kib == pytest.approx(15.0)
+
+    def test_baselines_small(self):
+        result = baseline_comparison.run(seed=1, instructions=20_000)
+        assert set(result.data["fp"]) == {"pipo", "table", "bitp"}
+
+    def test_defense_ablation_small(self):
+        result = defense_ablation.run(seed=3, iterations=20)
+        assert set(result.data["baseline"]) == {"lru", "lru_rand", "random"}
+        assert ("lru_rand", 1500) in result.data["defended"]
+
+
+class TestCli:
+    def test_registry_covers_all_artefacts(self):
+        assert set(EXPERIMENTS) == {
+            "fig3", "fig4", "fig6", "fig7", "fig8",
+            "secthr", "overhead", "baselines", "ablation",
+        }
+
+    def test_cli_runs_overhead(self, capsys):
+        assert cli_main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "0.37" in out
+
+    def test_cli_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            cli_main(["fig99"])

@@ -1,0 +1,275 @@
+"""Unit and property tests for the Auto-Cuckoo filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.auto_cuckoo import AutoCuckooFilter, FilterGeometry
+
+
+def small_filter(**overrides):
+    params = dict(
+        num_buckets=64,
+        entries_per_bucket=4,
+        fingerprint_bits=12,
+        max_kicks=4,
+        security_threshold=3,
+        seed=13,
+    )
+    params.update(overrides)
+    return AutoCuckooFilter(**params)
+
+
+class TestQueryResponseProtocol:
+    def test_first_access_inserts_with_security_zero(self):
+        fltr = small_filter()
+        assert fltr.access(42) == 0
+        assert fltr.contains(42)
+        assert fltr.security_of(42) == 0
+
+    def test_reaccess_increments_security(self):
+        fltr = small_filter()
+        responses = [fltr.access(42) for _ in range(4)]
+        assert responses == [0, 1, 2, 3]
+
+    def test_security_saturates_at_threshold(self):
+        fltr = small_filter()
+        for _ in range(10):
+            last = fltr.access(42)
+        assert last == fltr.security_threshold
+        assert fltr.security_of(42) == fltr.security_threshold
+
+    def test_ping_pong_detected_at_threshold(self):
+        """A line re-fetched secThr times satisfies the Ping-Pong
+        pattern (Section IV)."""
+        fltr = small_filter(security_threshold=3)
+        fltr.access(7)  # insert
+        assert fltr.access(7) < 3
+        assert fltr.access(7) < 3
+        assert fltr.access(7) == 3  # third reAccess: captured
+
+    def test_security_of_absent_is_none(self):
+        fltr = small_filter()
+        assert fltr.security_of(42) is None
+
+    def test_security_of_does_not_mutate(self):
+        fltr = small_filter()
+        fltr.access(42)
+        fltr.security_of(42)
+        fltr.security_of(42)
+        assert fltr.access(42) == 1
+
+
+class TestAutonomicDeletion:
+    def test_insert_never_fails(self):
+        """Insertions always succeed — there is no 'full' state."""
+        fltr = AutoCuckooFilter(
+            num_buckets=4, entries_per_bucket=2, fingerprint_bits=12,
+            max_kicks=2, seed=5,
+        )
+        for key in range(500):
+            response = fltr.access(key * 7919)
+            assert response >= 0
+        assert fltr.autonomic_deletions > 0
+
+    def test_mnk_zero_evicts_resident_immediately(self):
+        """Fig. 7: with MNK=0, inserting into a full bucket evicts a
+        random resident and places the new record."""
+        fltr = AutoCuckooFilter(
+            num_buckets=2, entries_per_bucket=1, fingerprint_bits=12,
+            max_kicks=0, seed=1, instrument=True,
+        )
+        # Fill both buckets, then keep inserting; every conflicting
+        # insert must keep the new key present.
+        for key in range(40):
+            fltr.access(key)
+            assert fltr.holds_address(key)
+        assert fltr.autonomic_deletions > 0
+
+    def test_occupancy_monotone_nondecreasing(self):
+        fltr = small_filter(max_kicks=2)
+        last = 0.0
+        for key in range(3000):
+            fltr.access(key * 2654435761)
+            occ = fltr.occupancy()
+            assert occ >= last
+            last = occ
+
+    def test_occupancy_reaches_full(self):
+        """Fig. 3: occupancy climbs to 100 % from insertion history."""
+        fltr = small_filter(max_kicks=2)
+        for key in range(4000):
+            fltr.access(key * 2654435761)
+        assert fltr.occupancy() == 1.0
+
+    def test_valid_count_bounded_by_capacity(self):
+        fltr = small_filter()
+        for key in range(2000):
+            fltr.access(key * 31)
+        assert fltr.valid_count <= fltr.capacity
+
+    def test_no_delete_interface(self):
+        """The Auto-Cuckoo filter closes the false-deletion attack
+        surface by having no delete operation at all."""
+        fltr = small_filter()
+        assert not hasattr(fltr, "delete")
+
+
+class TestRelocationAccounting:
+    def test_relocations_counted(self):
+        fltr = AutoCuckooFilter(
+            num_buckets=4, entries_per_bucket=2, fingerprint_bits=12,
+            max_kicks=3, seed=2,
+        )
+        for key in range(300):
+            fltr.access(key * 104729)
+        assert fltr.total_relocations > 0
+
+    def test_mnk_zero_never_relocates(self):
+        fltr = AutoCuckooFilter(
+            num_buckets=4, entries_per_bucket=2, fingerprint_bits=12,
+            max_kicks=0, seed=2,
+        )
+        for key in range(300):
+            fltr.access(key * 104729)
+        assert fltr.total_relocations == 0
+
+    def test_total_accesses_counted(self):
+        fltr = small_filter()
+        for key in range(17):
+            fltr.access(key)
+        assert fltr.total_accesses == 17
+
+
+class TestFingerprintMerge:
+    """Section V-B: colliding addresses merge into one entry and share
+    its Security counter."""
+
+    def test_colliding_addresses_share_entry(self):
+        fltr = AutoCuckooFilter(
+            num_buckets=16, entries_per_bucket=4, fingerprint_bits=6,
+            max_kicks=4, seed=9, instrument=True,
+        )
+        target = 1_000_003
+        fltr.access(target)
+        fp, i1, i2 = fltr.hasher.candidate_buckets(target)
+        alias = None
+        for candidate in range(2_000_000, 2_500_000):
+            cfp, c1, c2 = fltr.hasher.candidate_buckets(candidate)
+            if candidate != target and cfp == fp and {c1, c2} & {i1, i2}:
+                alias = candidate
+                break
+        assert alias is not None
+        # The alias's access merges: Security increments, no new entry.
+        before = fltr.valid_count
+        response = fltr.access(alias)
+        assert response == 1
+        assert fltr.valid_count == before
+        census_sets = [s for s in fltr.entry_address_sets() if len(s) >= 2]
+        assert any({target, alias} <= s for s in census_sets)
+
+
+class TestInstrumentation:
+    def test_holds_address_ground_truth(self):
+        fltr = small_filter(instrument=True)
+        fltr.access(5)
+        assert fltr.holds_address(5)
+        assert not fltr.holds_address(6)
+
+    def test_uninstrumented_raises(self):
+        fltr = small_filter(instrument=False)
+        with pytest.raises(RuntimeError):
+            fltr.holds_address(5)
+        with pytest.raises(RuntimeError):
+            list(fltr.entry_address_sets())
+
+    def test_entries_iterator_consistent(self):
+        fltr = small_filter()
+        for key in range(30):
+            fltr.access(key)
+        listed = list(fltr.entries())
+        assert len(listed) == fltr.valid_count
+        for bucket, slot, fp, sec in listed:
+            assert 0 <= bucket < fltr.num_buckets
+            assert 0 <= slot < fltr.entries_per_bucket
+            assert fp > 0
+            assert 0 <= sec <= fltr.security_threshold
+
+
+class TestParameterValidation:
+    def test_rejects_bad_entries_per_bucket(self):
+        with pytest.raises(ValueError):
+            small_filter(entries_per_bucket=0)
+
+    def test_rejects_negative_mnk(self):
+        with pytest.raises(ValueError):
+            small_filter(max_kicks=-1)
+
+    def test_rejects_threshold_overflow(self):
+        # 2-bit hardware counter saturates at 3.
+        with pytest.raises(ValueError):
+            small_filter(security_threshold=4)
+        with pytest.raises(ValueError):
+            small_filter(security_threshold=0)
+
+    def test_paper_defaults(self):
+        fltr = AutoCuckooFilter()
+        assert fltr.num_buckets == 1024
+        assert fltr.entries_per_bucket == 8
+        assert fltr.hasher.fingerprint_bits == 12
+        assert fltr.max_kicks == 4
+        assert fltr.security_threshold == 3
+
+
+class TestGeometry:
+    def test_paper_storage_budget(self):
+        """Section VII-D: 8192 entries × 15 bits = 15 KB."""
+        geometry = FilterGeometry(1024, 8, 12)
+        assert geometry.entry_count == 8192
+        assert geometry.bits_per_entry == 15
+        assert geometry.storage_kib == pytest.approx(15.0)
+
+
+class TestDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_same_seed_same_trajectory(self, seed):
+        a = small_filter(seed=seed)
+        b = small_filter(seed=seed)
+        stream = [(k * 2654435761) % (1 << 30) for k in range(300)]
+        responses_a = [a.access(k) for k in stream]
+        responses_b = [b.access(k) for k in stream]
+        assert responses_a == responses_b
+        assert list(a.entries()) == list(b.entries())
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1,
+                    max_size=200))
+    def test_response_bounded_and_occupancy_valid(self, stream):
+        fltr = AutoCuckooFilter(
+            num_buckets=8, entries_per_bucket=2, fingerprint_bits=8,
+            max_kicks=2, seed=4,
+        )
+        for key in stream:
+            response = fltr.access(key)
+            assert 0 <= response <= fltr.security_threshold
+        assert 0.0 <= fltr.occupancy() <= 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1,
+                    max_size=100, unique=True))
+    def test_accessed_key_present_unless_walk_cycled(self, keys):
+        """access(x) stores x's fingerprint; it can only be missing if
+        the relocation walk cycled back and autonomically deleted it —
+        possible in tiny filters, never an insert *failure*."""
+        fltr = AutoCuckooFilter(
+            num_buckets=8, entries_per_bucket=2, fingerprint_bits=10,
+            max_kicks=1, seed=6,
+        )
+        for key in keys:
+            deletions_before = fltr.autonomic_deletions
+            fltr.access(key)
+            if not fltr.contains(key):
+                assert fltr.autonomic_deletions > deletions_before

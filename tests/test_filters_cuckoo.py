@@ -1,0 +1,156 @@
+"""Unit and property tests for the classic Cuckoo filter baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.cuckoo import CuckooFilter
+
+
+def small_filter(**overrides):
+    params = dict(
+        num_buckets=64,
+        entries_per_bucket=4,
+        fingerprint_bits=12,
+        max_kicks=50,
+        seed=11,
+    )
+    params.update(overrides)
+    return CuckooFilter(**params)
+
+
+class TestBasics:
+    def test_insert_then_contains(self):
+        fltr = small_filter()
+        assert fltr.insert(12345)
+        assert fltr.contains(12345)
+        assert 12345 in fltr
+
+    def test_absent_key_usually_not_contained(self):
+        fltr = small_filter()
+        fltr.insert(1)
+        # With f=12 the false-positive chance for a single probe is
+        # ~2b/2^f ≈ 0.2 %, so a fixed probe is effectively never a hit.
+        assert not fltr.contains(999_999_999)
+
+    def test_len_counts_inserts(self):
+        fltr = small_filter()
+        for key in range(10):
+            assert fltr.insert(key)
+        assert len(fltr) == 10
+
+    def test_delete_removes(self):
+        fltr = small_filter()
+        fltr.insert(777)
+        assert fltr.delete(777)
+        assert not fltr.contains(777)
+        assert len(fltr) == 0
+
+    def test_delete_absent_returns_false(self):
+        fltr = small_filter()
+        assert not fltr.delete(42)
+
+    def test_duplicate_inserts_store_copies(self):
+        fltr = small_filter()
+        assert fltr.insert(5)
+        assert fltr.insert(5)
+        assert len(fltr) == 2
+        assert fltr.delete(5)
+        # One copy remains.
+        assert fltr.contains(5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            small_filter(entries_per_bucket=0)
+        with pytest.raises(ValueError):
+            small_filter(max_kicks=-1)
+
+
+class TestCapacityBehaviour:
+    def test_insert_fails_when_full(self):
+        fltr = CuckooFilter(
+            num_buckets=4, entries_per_bucket=2, fingerprint_bits=12,
+            max_kicks=20, seed=5,
+        )
+        results = [fltr.insert(k) for k in range(50)]
+        assert not all(results), "a tiny filter must eventually fail"
+        assert fltr.failed_inserts == results.count(False)
+
+    def test_valid_count_never_exceeds_capacity(self):
+        fltr = CuckooFilter(
+            num_buckets=8, entries_per_bucket=2, fingerprint_bits=10,
+            max_kicks=10, seed=2,
+        )
+        for key in range(200):
+            fltr.insert(key)
+            assert 0 <= fltr.valid_count <= fltr.capacity
+
+    def test_high_load_reachable_with_large_mnk(self):
+        # Fan et al.: 2 candidate buckets of 4 entries reach ~95 % load.
+        fltr = CuckooFilter(
+            num_buckets=128, entries_per_bucket=4, fingerprint_bits=12,
+            max_kicks=500, seed=1,
+        )
+        for key in range(2000):
+            fltr.insert(key)
+        assert fltr.occupancy() > 0.90
+
+    def test_occupancy_definition(self):
+        fltr = small_filter()
+        fltr.insert(1)
+        assert fltr.occupancy() == pytest.approx(1 / fltr.capacity)
+
+
+class TestNoFalseNegatives:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), min_size=1,
+                    max_size=60, unique=True))
+    def test_every_successful_insert_is_found(self, keys):
+        fltr = CuckooFilter(
+            num_buckets=64, entries_per_bucket=4, fingerprint_bits=12,
+            max_kicks=100, seed=3,
+        )
+        stored = [k for k in keys if fltr.insert(k)]
+        # Classic guarantee: no false negatives for stored keys as long
+        # as no insertion has failed (failures may drop a victim).
+        if fltr.failed_inserts == 0:
+            for key in stored:
+                assert fltr.contains(key)
+
+
+class TestEntriesIterator:
+    def test_entries_match_valid_count(self):
+        fltr = small_filter()
+        for key in range(25):
+            fltr.insert(key)
+        assert sum(1 for _ in fltr.entries()) == fltr.valid_count
+
+    def test_bucket_snapshot_is_copy(self):
+        fltr = small_filter()
+        fltr.insert(1)
+        snapshot = fltr.bucket(0)
+        assert isinstance(snapshot, tuple)
+
+
+class TestFalseDeletionWeakness:
+    """Section V-A: deletion can remove a different address's record."""
+
+    def test_colliding_address_deletes_target(self):
+        fltr = CuckooFilter(
+            num_buckets=16, entries_per_bucket=4, fingerprint_bits=6,
+            max_kicks=30, seed=9,
+        )
+        target = 1_000_003
+        fltr.insert(target)
+        fp, i1, i2 = fltr.hasher.candidate_buckets(target)
+        # Search for an alias: same fingerprint, overlapping buckets.
+        alias = None
+        for candidate in range(2_000_000, 2_400_000):
+            cfp, c1, c2 = fltr.hasher.candidate_buckets(candidate)
+            if cfp == fp and {c1, c2} & {i1, i2}:
+                alias = candidate
+                break
+        assert alias is not None, "test geometry should admit an alias"
+        # Deleting the alias removes the target's record: false deletion.
+        assert fltr.delete(alias)
+        assert not fltr.contains(target)

@@ -1,0 +1,90 @@
+"""Unit and property tests for partial-key cuckoo hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.filters.hashing import PartialKeyHasher
+
+keys = st.integers(min_value=0, max_value=2**48 - 1)
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two_buckets(self):
+        with pytest.raises(ValueError):
+            PartialKeyHasher(num_buckets=1000, fingerprint_bits=12)
+
+    def test_rejects_bad_fingerprint_width(self):
+        with pytest.raises(ValueError):
+            PartialKeyHasher(num_buckets=64, fingerprint_bits=0)
+        with pytest.raises(ValueError):
+            PartialKeyHasher(num_buckets=64, fingerprint_bits=33)
+
+    def test_accepts_paper_geometry(self):
+        hasher = PartialKeyHasher(num_buckets=1024, fingerprint_bits=12)
+        assert hasher.num_buckets == 1024
+        assert hasher.fingerprint_bits == 12
+
+
+class TestFingerprint:
+    @given(keys)
+    def test_nonzero_and_in_range(self, key):
+        hasher = PartialKeyHasher(num_buckets=1024, fingerprint_bits=12)
+        fp = hasher.fingerprint(key)
+        assert 1 <= fp <= (1 << 12) - 1
+
+    def test_deterministic(self):
+        hasher = PartialKeyHasher(num_buckets=64, fingerprint_bits=8)
+        assert hasher.fingerprint(999) == hasher.fingerprint(999)
+
+    def test_seed_changes_function(self):
+        a = PartialKeyHasher(num_buckets=64, fingerprint_bits=12, seed=1)
+        b = PartialKeyHasher(num_buckets=64, fingerprint_bits=12, seed=2)
+        sample = range(200)
+        assert [a.fingerprint(k) for k in sample] != [
+            b.fingerprint(k) for k in sample
+        ]
+
+    def test_distribution_covers_space(self):
+        hasher = PartialKeyHasher(num_buckets=64, fingerprint_bits=8)
+        seen = {hasher.fingerprint(k) for k in range(4000)}
+        # 8-bit fingerprints from 4000 keys should hit most codepoints.
+        assert len(seen) > 200
+
+
+class TestIndices:
+    @given(keys)
+    def test_index_in_range(self, key):
+        hasher = PartialKeyHasher(num_buckets=256, fingerprint_bits=10)
+        assert 0 <= hasher.index1(key) < 256
+
+    @given(keys)
+    def test_alt_index_involution(self, key):
+        """alt(alt(i, fp), fp) == i — the property relocation relies on."""
+        hasher = PartialKeyHasher(num_buckets=256, fingerprint_bits=10)
+        fp, i1, i2 = hasher.candidate_buckets(key)
+        assert hasher.alt_index(i2, fp) == i1
+        assert hasher.alt_index(i1, fp) == i2
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=1, max_value=(1 << 10) - 1),
+    )
+    def test_alt_index_involution_any_pair(self, index, fp):
+        hasher = PartialKeyHasher(num_buckets=256, fingerprint_bits=10)
+        assert hasher.alt_index(hasher.alt_index(index, fp), fp) == index
+
+    @given(keys)
+    def test_candidate_buckets_consistent(self, key):
+        hasher = PartialKeyHasher(num_buckets=128, fingerprint_bits=9)
+        fp, i1, i2 = hasher.candidate_buckets(key)
+        assert fp == hasher.fingerprint(key)
+        assert i1 == hasher.index1(key)
+        assert i2 == hasher.alt_index(i1, fp)
+
+    def test_bucket_distribution_roughly_uniform(self):
+        hasher = PartialKeyHasher(num_buckets=16, fingerprint_bits=12)
+        counts = [0] * 16
+        for key in range(16000):
+            counts[hasher.index1(key)] += 1
+        assert min(counts) > 700 and max(counts) < 1300

@@ -1,0 +1,120 @@
+"""Tests for filter measurement helpers (Figs. 3 and 4 machinery)."""
+
+import pytest
+
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.filters.metrics import (
+    collision_census,
+    measure_false_positive_rate,
+    occupancy_curve,
+    theoretical_false_positive_rate,
+)
+
+
+def make_filter(**overrides):
+    params = dict(
+        num_buckets=64,
+        entries_per_bucket=4,
+        fingerprint_bits=12,
+        max_kicks=4,
+        seed=3,
+    )
+    params.update(overrides)
+    return AutoCuckooFilter(**params)
+
+
+class TestTheoreticalRate:
+    def test_paper_configuration(self):
+        """Section V-B: b=8, f=12 gives ε ≈ 2b/2^f = 0.0039."""
+        eps = theoretical_false_positive_rate(8, 12)
+        assert eps == pytest.approx(16 / 4096, rel=0.01)
+
+    def test_decreases_exponentially_in_f(self):
+        rates = [theoretical_false_positive_rate(8, f) for f in (8, 10, 12, 14)]
+        for smaller, larger in zip(rates[1:], rates):
+            assert smaller < larger
+            # Each +2 bits of fingerprint divides ε by ~4.
+            assert larger / smaller == pytest.approx(4.0, rel=0.05)
+
+    def test_increases_with_bucket_width(self):
+        assert theoretical_false_positive_rate(16, 12) > (
+            theoretical_false_positive_rate(4, 12)
+        )
+
+
+class TestOccupancyCurve:
+    def test_monotone_and_terminal(self):
+        fltr = make_filter()
+        points = occupancy_curve(fltr, insertions=800, checkpoint_every=100)
+        counts = [c for c, _ in points]
+        occs = [o for _, o in points]
+        assert counts[0] == 0 and counts[-1] == 800
+        assert occs == sorted(occs)
+        assert occs[-1] > 0.9
+
+    def test_checkpoint_spacing(self):
+        fltr = make_filter()
+        points = occupancy_curve(fltr, insertions=250, checkpoint_every=100)
+        assert [c for c, _ in points] == [0, 100, 200, 250]
+
+    def test_rejects_bad_checkpoint(self):
+        with pytest.raises(ValueError):
+            occupancy_curve(make_filter(), insertions=10, checkpoint_every=0)
+
+    def test_deterministic(self):
+        a = occupancy_curve(make_filter(), 300, 50, seed=9)
+        b = occupancy_curve(make_filter(), 300, 50, seed=9)
+        assert a == b
+
+
+class TestCollisionCensus:
+    def test_counts_singletons(self):
+        fltr = make_filter(instrument=True)
+        for key in range(20):
+            fltr.access(key)
+        census = collision_census(fltr)
+        assert census.valid_entries == fltr.valid_count
+        assert sum(census.by_address_count.values()) == census.valid_entries
+
+    def test_collision_ratio_zero_when_no_collisions(self):
+        fltr = make_filter(instrument=True, fingerprint_bits=16)
+        for key in range(10):
+            fltr.access(key)
+        census = collision_census(fltr)
+        assert census.collision_ratio == 0.0
+
+    def test_collision_ratio_detects_merges(self):
+        # With a 4-bit fingerprint collisions are frequent.
+        fltr = make_filter(instrument=True, fingerprint_bits=4,
+                           num_buckets=8, entries_per_bucket=2)
+        for key in range(4000):
+            fltr.access(key * 7919)
+        census = collision_census(fltr)
+        assert census.collision_ratio > 0.0
+        assert census.ratio_with_at_least(2) == census.collision_ratio
+        assert census.ratio_with_at_least(3) <= census.collision_ratio
+
+    def test_empty_filter(self):
+        census = collision_census(make_filter(instrument=True))
+        assert census.valid_entries == 0
+        assert census.collision_ratio == 0.0
+        assert census.ratio_with_at_least(2) == 0.0
+
+
+class TestEmpiricalFalsePositiveRate:
+    def test_close_to_theory_at_full_load(self):
+        fltr = make_filter(fingerprint_bits=8, num_buckets=32,
+                           entries_per_bucket=4)
+        inserted = set()
+        for key in range(2000):
+            addr = (key * 2654435761) % (1 << 30)
+            fltr.access(addr)
+            inserted.add(addr)
+        measured = measure_false_positive_rate(fltr, inserted, probes=4000)
+        theory = theoretical_false_positive_rate(4, 8)
+        # Loose bound: same order of magnitude.
+        assert 0.2 * theory < measured < 3.0 * theory
+
+    def test_rejects_zero_probes(self):
+        with pytest.raises(ValueError):
+            measure_false_positive_rate(make_filter(), set(), probes=0)

@@ -1,0 +1,167 @@
+"""Relocation-chain mechanics of the Auto-Cuckoo filter.
+
+These tests pin down the semantics Fig. 7's analysis depends on:
+Security counters travel with their fingerprints, relocated records
+stay findable through the partial-key involution, and autonomic
+deletion accounting is exact.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.filters.cuckoo import CuckooFilter
+
+
+def crowded_filter(**overrides):
+    """A small filter driven to full occupancy."""
+    params = dict(
+        num_buckets=16, entries_per_bucket=4, fingerprint_bits=12,
+        max_kicks=4, seed=17, instrument=True,
+    )
+    params.update(overrides)
+    fltr = AutoCuckooFilter(**params)
+    key = 0
+    while fltr.valid_count < fltr.capacity:
+        fltr.access(0xA000_0000 + key * 977)
+        key += 1
+        if key > 100_000:
+            raise RuntimeError("filter failed to fill")
+    return fltr
+
+
+class TestSecurityTravelsWithFingerprint:
+    def test_security_preserved_across_relocations(self):
+        """Drive a record to Security=2, churn the filter, and verify
+        that whenever the record survives, its counter survives with
+        it (wherever it was relocated to)."""
+        fltr = crowded_filter()
+        target = 0x5EED_77
+        fltr.access(target)
+        fltr.access(target)
+        fltr.access(target)  # Security = 2
+        assert fltr.security_of(target) == 2
+        churn = 0
+        while fltr.holds_address(target) and churn < 3000:
+            fltr.access(0xB000_0000 + churn * 1231)
+            churn += 1
+            if fltr.holds_address(target):
+                assert fltr.security_of(target) == 2, (
+                    "relocation must carry the Security counter"
+                )
+
+    def test_entries_iterator_reports_counter(self):
+        fltr = AutoCuckooFilter(num_buckets=8, entries_per_bucket=2,
+                                seed=3)
+        fltr.access(42)
+        fltr.access(42)
+        entries = [(fp, sec) for _, _, fp, sec in fltr.entries()]
+        assert (fltr.hasher.fingerprint(42), 1) in entries
+
+
+class TestRelocatedRecordsStayFindable:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_survivors_always_in_candidate_buckets(self, seed):
+        """Every surviving record must sit in one of its two candidate
+        buckets, no matter how many relocations it went through —
+        the partial-key involution at work."""
+        fltr = AutoCuckooFilter(
+            num_buckets=8, entries_per_bucket=2, fingerprint_bits=10,
+            max_kicks=3, seed=seed, instrument=True,
+        )
+        keys = [0xC000_0000 + k * 769 for k in range(120)]
+        for key in keys:
+            fltr.access(key)
+        for key in keys:
+            if fltr.holds_address(key):
+                fp, i1, i2 = fltr.hasher.candidate_buckets(key)
+                assert fp in fltr.bucket(i1) or fp in fltr.bucket(i2)
+
+
+class TestAutonomicDeletionAccounting:
+    def test_full_filter_every_miss_insert_deletes_one(self):
+        """At 100 % occupancy, each new-address access that does not
+        merge must end in exactly one autonomic deletion."""
+        fltr = crowded_filter()
+        before_deletions = fltr.autonomic_deletions
+        before_count = fltr.valid_count
+        inserted = 0
+        merged = 0
+        for key in range(200):
+            address = 0xD000_0000 + key * 3571
+            if fltr.contains(address):
+                merged += 1
+                fltr.access(address)
+                continue
+            fltr.access(address)
+            inserted += 1
+        assert fltr.valid_count == before_count  # stays full
+        assert fltr.autonomic_deletions == before_deletions + inserted
+
+    def test_deletions_zero_while_vacancies_exist(self):
+        fltr = AutoCuckooFilter(num_buckets=64, entries_per_bucket=8,
+                                max_kicks=4, seed=5)
+        for key in range(128):  # quarter full: chains find vacancies
+            fltr.access(key * 104729)
+        assert fltr.autonomic_deletions == 0
+
+    def test_relocations_bounded_per_access(self):
+        fltr = crowded_filter(max_kicks=2)
+        before = fltr.total_relocations
+        fltr.access(0xE000_0001)
+        assert fltr.total_relocations - before <= 2
+
+
+class TestClassicVersusAuto:
+    """The two filters share hashing; their divergence is exactly the
+    insertion-failure/deletion semantics."""
+
+    def test_same_candidate_buckets_for_same_seed(self):
+        classic = CuckooFilter(num_buckets=32, entries_per_bucket=4,
+                               fingerprint_bits=10, seed=9)
+        auto = AutoCuckooFilter(num_buckets=32, entries_per_bucket=4,
+                                fingerprint_bits=10, seed=9)
+        for key in (1, 999, 12345, 2**40):
+            assert classic.hasher.candidate_buckets(key) == (
+                auto.hasher.candidate_buckets(key)
+            )
+
+    def test_classic_fails_where_auto_absorbs(self):
+        classic = CuckooFilter(num_buckets=4, entries_per_bucket=2,
+                               fingerprint_bits=12, max_kicks=4, seed=2)
+        auto = AutoCuckooFilter(num_buckets=4, entries_per_bucket=2,
+                                fingerprint_bits=12, max_kicks=4, seed=2)
+        failures = 0
+        for key in range(100):
+            if not classic.insert(key):
+                failures += 1
+            auto.access(key)
+        assert failures > 0
+        assert auto.total_accesses == 100
+        assert auto.occupancy() == 1.0
+
+    def test_auto_has_no_insert_or_delete_methods(self):
+        """The hardware protocol is access-only."""
+        auto = AutoCuckooFilter(num_buckets=4)
+        assert not hasattr(auto, "insert")
+        assert not hasattr(auto, "delete")
+
+
+class TestMergeSemantics:
+    def test_merge_does_not_create_duplicate_entries(self):
+        """Unlike the classic filter (which stores duplicate copies),
+        re-accessing merges into the existing entry."""
+        fltr = AutoCuckooFilter(num_buckets=16, entries_per_bucket=4,
+                                seed=11)
+        for _ in range(10):
+            fltr.access(777)
+        assert fltr.valid_count == 1
+
+    def test_classic_duplicates_for_contrast(self):
+        classic = CuckooFilter(num_buckets=16, entries_per_bucket=4,
+                               seed=11)
+        for _ in range(4):
+            classic.insert(777)
+        assert classic.valid_count == 4

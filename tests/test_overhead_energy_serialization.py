@@ -1,0 +1,93 @@
+"""Extended coverage: the energy side of the CACTI model, trace
+round-trips under hypothesis, and miscellaneous serialization paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import OP_IFETCH, OP_READ, OP_WRITE
+from repro.overhead.cacti import SramMacro
+from repro.overhead.storage import llc_storage_bits
+from repro.core.config import CacheLevelConfig, TABLE_II_FILTER
+from repro.workloads.trace import (
+    TraceRecord,
+    read_trace_csv,
+    scripted_from_trace,
+    write_trace_csv,
+)
+
+
+class TestEnergyModel:
+    def test_energy_grows_sublinearly_with_bits(self):
+        """Read energy scales with the square root of the array (word/
+        bit-line lengths), not linearly."""
+        small = SramMacro(10_000).read_energy_pj
+        large = SramMacro(40_000).read_energy_pj
+        assert large == pytest.approx(2 * small, rel=0.01)
+
+    def test_leakage_linear_in_bits(self):
+        assert SramMacro(20_000).leakage_mw == pytest.approx(
+            2 * SramMacro(10_000).leakage_mw
+        )
+
+    def test_filter_energy_dwarfed_by_llc(self):
+        filter_macro = SramMacro(TABLE_II_FILTER.geometry.storage_bits)
+        llc_macro = SramMacro(
+            llc_storage_bits(CacheLevelConfig(4 * 1024 * 1024, 16, 35))
+        )
+        assert filter_macro.read_energy_pj < 0.1 * llc_macro.read_energy_pj
+        assert filter_macro.leakage_mw < 0.01 * llc_macro.leakage_mw
+
+    def test_node_scaling_applies_to_energy(self):
+        at22 = SramMacro(10_000, node_nm=22)
+        at11 = SramMacro(10_000, node_nm=11)
+        assert at11.read_energy_pj < at22.read_energy_pj
+        assert at11.leakage_mw < at22.leakage_mw
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_all_quantities_positive(self, bits):
+        macro = SramMacro(bits)
+        assert macro.area_mm2 > 0
+        assert macro.read_energy_pj > 0
+        assert macro.leakage_mw > 0
+
+
+trace_records = st.lists(
+    st.builds(
+        TraceRecord,
+        compute=st.integers(min_value=0, max_value=10_000),
+        op=st.sampled_from([OP_READ, OP_WRITE, OP_IFETCH, None]),
+        address=st.integers(min_value=0, max_value=2**46),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestTraceRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(trace_records)
+    def test_csv_round_trip_exact(self, tmp_path_factory, records):
+        path = tmp_path_factory.mktemp("traces") / "trace.csv"
+        write_trace_csv(records, path)
+        assert read_trace_csv(path) == records
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace_records)
+    def test_scripted_replay_preserves_order(self, records):
+        workload = scripted_from_trace(records)
+        generator = workload.generator(0, seed=0)
+        replayed = []
+        try:
+            item = next(generator)
+            while True:
+                replayed.append(item)
+                compute, op, addr = item
+                item = generator.send(100 if op is not None else 0)
+        except StopIteration:
+            pass
+        assert replayed == [r.as_tuple() for r in records]
+
+    def test_record_as_tuple(self):
+        record = TraceRecord(5, OP_READ, 0x1000)
+        assert record.as_tuple() == (5, OP_READ, 0x1000)

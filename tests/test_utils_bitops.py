@@ -1,0 +1,119 @@
+"""Unit and property tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_select,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    mix64,
+    splitmix64_stream,
+)
+
+U64 = (1 << 64) - 1
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_salt_changes_output(self):
+        assert mix64(12345, salt=1) != mix64(12345, salt=2)
+
+    def test_output_within_64_bits(self):
+        for value in (0, 1, U64, 1 << 63):
+            assert 0 <= mix64(value) <= U64
+
+    @given(st.integers(min_value=0, max_value=U64))
+    def test_range_property(self, value):
+        assert 0 <= mix64(value) <= U64
+
+    @given(st.integers(min_value=0, max_value=U64 - 1))
+    def test_adjacent_inputs_differ(self, value):
+        # Avalanche smoke test: adjacent inputs should never collide.
+        assert mix64(value) != mix64(value + 1)
+
+    def test_bit_dispersion(self):
+        # Flipping one input bit should flip roughly half the output
+        # bits on average (avalanche property).
+        base = mix64(0xDEADBEEF)
+        flips = [bin(base ^ mix64(0xDEADBEEF ^ (1 << i))).count("1") for i in range(64)]
+        average = sum(flips) / len(flips)
+        assert 20 < average < 44
+
+
+class TestSplitmixStream:
+    def test_length(self):
+        assert len(splitmix64_stream(7, 10)) == 10
+
+    def test_deterministic(self):
+        assert splitmix64_stream(7, 5) == splitmix64_stream(7, 5)
+
+    def test_seed_sensitivity(self):
+        assert splitmix64_stream(7, 5) != splitmix64_stream(8, 5)
+
+    def test_distinct_values(self):
+        values = splitmix64_stream(3, 1000)
+        assert len(set(values)) == 1000
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            splitmix64_stream(1, -1)
+
+    def test_empty(self):
+        assert splitmix64_stream(1, 0) == []
+
+
+class TestMask:
+    def test_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(12) == 0xFFF
+        assert mask(64) == U64
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for exp in range(20):
+            assert is_power_of_two(1 << exp)
+            assert log2_exact(1 << exp) == exp
+
+    def test_non_powers(self):
+        for value in (0, -2, 3, 6, 1023):
+            assert not is_power_of_two(value)
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)
+
+    @given(st.integers(min_value=1, max_value=1 << 40))
+    def test_is_power_of_two_matches_bin(self, value):
+        assert is_power_of_two(value) == (bin(value).count("1") == 1)
+
+
+class TestBitSelect:
+    def test_simple(self):
+        assert bit_select(0b1011_0110, 1, 3) == 0b011
+
+    def test_zero_width(self):
+        assert bit_select(0xFFFF, 4, 0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_select(1, -1, 2)
+
+    @given(
+        st.integers(min_value=0, max_value=U64),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=64),
+    )
+    def test_reconstruction(self, value, low, width):
+        selected = bit_select(value, low, width)
+        assert selected == (value >> low) % (1 << width if width else 1)

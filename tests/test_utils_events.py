@@ -1,0 +1,96 @@
+"""Unit and property tests for the discrete-event queue."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.events import EventQueue
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(30, lambda: fired.append(30))
+        queue.schedule(10, lambda: fired.append(10))
+        queue.schedule(20, lambda: fired.append(20))
+        queue.run_until(100)
+        assert fired == [10, 20, 30]
+
+    def test_ties_fire_fifo(self):
+        queue = EventQueue()
+        fired = []
+        for tag in ("a", "b", "c"):
+            queue.schedule(5, lambda t=tag: fired.append(t))
+        queue.run_until(5)
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_is_inclusive(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, lambda: fired.append(10))
+        queue.schedule(11, lambda: fired.append(11))
+        assert queue.run_until(10) == 1
+        assert fired == [10]
+        assert len(queue) == 1
+
+    def test_cancel(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1, lambda: fired.append(1))
+        event.cancel()
+        assert queue.run_until(10) == 0
+        assert fired == []
+        assert len(queue) == 0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_next_time(self):
+        queue = EventQueue()
+        assert queue.next_time() is None
+        queue.schedule(42, lambda: None)
+        assert queue.next_time() == 42
+
+    def test_next_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.schedule(1, lambda: None)
+        queue.schedule(2, lambda: None)
+        first.cancel()
+        assert queue.next_time() == 2
+
+    def test_cascading_events_within_window(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain():
+            fired.append("first")
+            queue.schedule(7, lambda: fired.append("second"))
+
+        queue.schedule(3, chain)
+        queue.run_until(10)
+        assert fired == ["first", "second"]
+
+    def test_cascading_event_outside_window_deferred(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain():
+            fired.append("first")
+            queue.schedule(50, lambda: fired.append("late"))
+
+        queue.schedule(3, chain)
+        queue.run_until(10)
+        assert fired == ["first"]
+        assert queue.next_time() == 50
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=60))
+    def test_property_all_fire_sorted(self, times):
+        queue = EventQueue()
+        fired = []
+        for t in times:
+            queue.schedule(t, lambda t=t: fired.append(t))
+        queue.run_until(1000)
+        assert fired == sorted(times)
+        assert len(queue) == 0

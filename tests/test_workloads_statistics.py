@@ -1,0 +1,135 @@
+"""Statistical properties of the workload models that the Fig. 8
+reproduction rests on."""
+
+import pytest
+
+from repro.cache.hierarchy import OP_IFETCH
+from repro.cache.llc import SlicedLLC
+from repro.experiments.common import (
+    scaled_mix_workloads,
+    scaled_system_config,
+)
+from repro.cpu.system import run_workloads
+from repro.workloads.base import core_data_base
+from repro.workloads.spec import BENCHMARK_PROFILES, spec_workload
+from repro.workloads.synthetic import PointerChaseWorkload, StreamWorkload
+from repro.workloads.trace import record_trace
+
+
+class TestSpatialLocality:
+    def test_accesses_per_line_produces_line_repeats(self):
+        workload = StreamWorkload(
+            64 * 1024, mem_fraction=1.0, ifetch_fraction=0.0,
+            accesses_per_line=4,
+        )
+        records = record_trace(workload, max_ops=400)
+        lines = [r.address // 64 for r in records]
+        # Consecutive groups of 4 hit the same line.
+        distinct = len(set(lines))
+        assert distinct == pytest.approx(len(lines) / 4, rel=0.1)
+
+    def test_locality_lowers_llc_misses(self):
+        """More intra-line accesses → fewer line touches → lower MPKI
+        — the knob that calibrates benchmark miss rates."""
+        def misses_with(locality):
+            config = scaled_system_config(monitor_enabled=False)
+            workload = StreamWorkload(
+                1024 * 1024, mem_fraction=0.3,
+                accesses_per_line=locality, name=f"probe{locality}",
+            )
+            result = run_workloads(
+                config, [workload] * 4, instructions_per_core=30_000,
+                seed=1,
+            )
+            return result.stats.llc_misses
+
+        assert misses_with(8) < 0.5 * misses_with(1)
+
+    def test_rejects_zero_locality(self):
+        with pytest.raises(ValueError):
+            StreamWorkload(4096, accesses_per_line=0)
+
+
+class TestPointerChaseCycle:
+    def test_cycle_covers_whole_working_set(self):
+        """The Hamiltonian-cycle construction guarantees full coverage
+        regardless of seed (a shuffled permutation does not)."""
+        lines = 64
+        workload = PointerChaseWorkload(
+            lines * 64, mem_fraction=1.0, write_fraction=0.0,
+            ifetch_fraction=0.0, accesses_per_line=1,
+        )
+        for seed in (0, 1, 7, 123):
+            records = record_trace(workload, max_ops=lines, seed=seed)
+            visited = {r.address // 64 for r in records}
+            assert len(visited) == lines, f"seed {seed} broke the cycle"
+
+
+class TestConflictComponent:
+    def test_conflict_lines_are_congruent(self):
+        """The strided conflict lines must collide in one LLC set per
+        slice — that is what makes them conflict-miss."""
+        config = scaled_system_config(monitor_enabled=False)
+        llc = SlicedLLC(
+            size_bytes=config.llc.size_bytes,
+            ways=config.llc.ways,
+            num_slices=config.llc_slices,
+            seed=1,
+        )
+        workloads = scaled_mix_workloads("mix1")
+        libquantum = workloads[0]
+        records = record_trace(libquantum, core_id=0, seed=2, max_ops=60_000)
+        base = core_data_base(0)
+        ws_lines = libquantum.profile.working_set_bytes // 64
+        conflict_addrs = {
+            r.address // 64 for r in records
+            if r.op is not None and r.op != OP_IFETCH
+            and (r.address - base) // 64 > ws_lines
+        }
+        assert len(conflict_addrs) >= 48
+        # All share one set index.
+        set_indices = {llc.set_of(a) for a in conflict_addrs}
+        assert len(set_indices) == 1
+        # And at least one slice-set receives more lines than its ways.
+        per_slice: dict[int, int] = {}
+        for addr in conflict_addrs:
+            per_slice[llc.slice_of(addr)] = per_slice.get(llc.slice_of(addr), 0) + 1
+        assert max(per_slice.values()) > llc.ways
+
+    def test_quiet_benchmarks_have_no_conflict_component(self):
+        for name in ("gobmk", "hmmer", "calculix", "sjeng", "gromacs"):
+            assert BENCHMARK_PROFILES[name].conflict_fraction == 0.0
+
+    def test_loud_benchmarks_have_conflict_component(self):
+        for name in ("libquantum", "milc", "gcc", "sphinx3"):
+            assert BENCHMARK_PROFILES[name].conflict_fraction > 0.0
+
+
+class TestMixChurnOrdering:
+    def test_working_sets_order_miss_rates(self):
+        """Streaming/pointer benchmarks must out-miss cache-resident
+        ones on the scaled system — the regime Fig. 8 depends on."""
+        config = scaled_system_config(monitor_enabled=False)
+
+        def mpki(name):
+            workload = spec_workload(name)
+            # Use the scaled working set like the harness does.
+            workloads = scaled_mix_workloads("mix1")
+            probe = next((w for w in workloads if w.name == name), None)
+            if probe is None:
+                probe = workload
+            result = run_workloads(
+                config, [probe] * 4, instructions_per_core=25_000, seed=3,
+            )
+            return 1000 * result.stats.llc_misses / result.total_instructions
+
+        assert mpki("mcf") > 3 * mpki("gobmk")
+
+    def test_all_mixes_run(self):
+        config = scaled_system_config(monitor_enabled=False)
+        for mix in ("mix2", "mix9"):
+            workloads = scaled_mix_workloads(mix)
+            result = run_workloads(
+                config, workloads, instructions_per_core=5_000, seed=1,
+            )
+            assert result.total_instructions >= 4 * 5_000
