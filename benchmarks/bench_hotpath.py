@@ -1,0 +1,184 @@
+"""Hot-path microbenchmarks: the numbers behind PERFORMANCE.md.
+
+Measures ops/sec of the simulator's innermost loops so speedups are
+tracked, not asserted:
+
+* ``CacheHierarchy.access`` on its three service tiers — L1 hit,
+  LLC hit (L1/L2 miss), and full miss to memory with the monitor's
+  filter on the path;
+* ``CacheHierarchy.access_many`` on the same L1-hit stream (the
+  batched entry point trace replay uses);
+* ``AutoCuckooFilter.access`` hit-heavy and mixed (insert-heavy);
+* one end-to-end Fig. 8 cell (mix1, Table II filter, scaled system).
+
+Run through ``benchmarks/run_perf.sh``, which writes the ops/sec
+trajectory to ``benchmarks/results/BENCH_hotpath.json``.  All state
+is rebuilt per round (``pedantic`` + setup) so rounds are identical
+work; every stream is seeded — run-to-run variance is the machine's,
+not the workload's.
+"""
+
+import pytest
+
+from repro.cache.hierarchy import OP_READ
+from repro.core.config import TABLE_II
+from repro.core.pipomonitor import PiPoMonitor
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.utils.events import EventQueue
+
+pytestmark = pytest.mark.tier2_perf
+
+#: Memory operations (or filter queries) per measured round.
+N_OPS = 100_000
+
+_U64 = (1 << 64) - 1
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+
+
+def _lcg_stream(seed, count, modulus):
+    """Deterministic pseudo-random ints in [0, modulus) — cheap and
+    library-free so stream generation never pollutes the profile."""
+    state = seed
+    out = []
+    for _ in range(count):
+        state = (state * _LCG_MULT + _LCG_INC) & _U64
+        out.append((state >> 24) % modulus)
+    return out
+
+
+def _bench_ops(benchmark, fn, setup, ops):
+    """Run ``fn(state)`` once per round on a fresh ``setup()`` state
+    and record ops/sec in the benchmark record."""
+    result = benchmark.pedantic(
+        fn, setup=lambda: ((setup(),), {}), rounds=3, iterations=1,
+    )
+    benchmark.extra_info["operations"] = ops
+    benchmark.extra_info["ops_per_sec"] = round(ops / benchmark.stats.stats.min)
+    return result
+
+
+# ----------------------------------------------------------------------
+# CacheHierarchy.access tiers
+# ----------------------------------------------------------------------
+
+def _l1_hit_state():
+    h = TABLE_II.build_hierarchy(seed=0)
+    addrs = [i * 64 for i in range(256)]  # 16 KiB: resident in L1
+    for a in addrs:
+        h.access(0, OP_READ, a)
+    return h, addrs * (N_OPS // len(addrs))
+
+
+def test_access_l1_hit(benchmark):
+    def run(state):
+        h, seq = state
+        access = h.access
+        for a in seq:
+            access(0, OP_READ, a)
+
+    _bench_ops(benchmark, run, _l1_hit_state, N_OPS)
+
+
+def test_access_many_l1_hit(benchmark):
+    def setup():
+        h, seq = _l1_hit_state()
+        return h, [(0, OP_READ, a) for a in seq]
+
+    def run(state):
+        h, requests = state
+        h.access_many(requests)
+
+    _bench_ops(benchmark, run, setup, N_OPS)
+
+
+def test_access_llc_hit(benchmark):
+    lines = 16384  # 1 MiB: overflows L1 and L2, resident in the LLC
+
+    def setup():
+        h = TABLE_II.build_hierarchy(seed=0)
+        addrs = [i * 64 for i in range(lines)]
+        for a in addrs:
+            h.access(0, OP_READ, a)
+        return h, (addrs * (N_OPS // lines + 1))[:N_OPS]
+
+    def run(state):
+        h, seq = state
+        access = h.access
+        for a in seq:
+            access(0, OP_READ, a)
+
+    _bench_ops(benchmark, run, setup, N_OPS)
+
+
+def test_access_miss(benchmark):
+    ops = N_OPS // 4  # misses are ~30x slower than L1 hits
+
+    def setup():
+        h = TABLE_II.build_hierarchy(seed=0)
+        monitor = PiPoMonitor(TABLE_II.filter.build(seed=1), EventQueue())
+        monitor.attach(h)
+        seq = [a * 64 for a in _lcg_stream(12345, ops, 1 << 30)]
+        return h, seq
+
+    def run(state):
+        h, seq = state
+        access = h.access
+        for a in seq:
+            access(0, OP_READ, a)
+
+    _bench_ops(benchmark, run, setup, ops)
+
+
+# ----------------------------------------------------------------------
+# AutoCuckooFilter.access
+# ----------------------------------------------------------------------
+
+def test_filter_access_hits(benchmark):
+    def setup():
+        fltr = AutoCuckooFilter(seed=0)
+        # Key space well under capacity: steady state is pure re-access.
+        return fltr, _lcg_stream(999, N_OPS, 1 << 11)
+
+    def run(state):
+        fltr, keys = state
+        access = fltr.access
+        for k in keys:
+            access(k)
+
+    _bench_ops(benchmark, run, setup, N_OPS)
+
+
+def test_filter_access_mixed(benchmark):
+    def setup():
+        fltr = AutoCuckooFilter(seed=0)
+        # Key space 2x capacity: saturates the table, so the steady
+        # state mixes hits with insertions and full relocation chains.
+        return fltr, _lcg_stream(999, N_OPS, 1 << 14)
+
+    def run(state):
+        fltr, keys = state
+        access = fltr.access
+        for k in keys:
+            access(k)
+
+    _bench_ops(benchmark, run, setup, N_OPS)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: one Fig. 8 cell
+# ----------------------------------------------------------------------
+
+def test_fig8_single_cell(benchmark):
+    from repro.experiments import fig8_performance
+
+    def run(_state):
+        fig8_performance.run(
+            seed=0, mixes=["mix1"], filter_sizes=((1024, 8),), jobs=1,
+        )
+
+    result = benchmark.pedantic(
+        run, setup=lambda: ((None,), {}), rounds=3, iterations=1,
+    )
+    benchmark.extra_info["operations"] = 1
+    return result

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Run the hot-path microbenchmarks and record the ops/sec trajectory.
+#
+# Usage:  benchmarks/run_perf.sh [extra pytest args...]
+#
+# Writes:
+#   benchmarks/results/BENCH_hotpath.json       — compact ops/sec record
+#   benchmarks/results/BENCH_hotpath.raw.json   — full pytest-benchmark dump
+#
+# The compact record is the file to diff across PRs: one entry per
+# benchmark with ops/sec (from the fastest round) and the raw per-round
+# timings.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mkdir -p benchmarks/results
+
+RAW=benchmarks/results/BENCH_hotpath.raw.json
+OUT=benchmarks/results/BENCH_hotpath.json
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_hotpath.py \
+    -q -m tier2_perf \
+    --benchmark-json="$RAW" \
+    "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$RAW" "$OUT" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as fh:
+    raw = json.load(fh)
+
+record = {
+    "machine": raw.get("machine_info", {}).get("node"),
+    "datetime": raw.get("datetime"),
+    "commit": (raw.get("commit_info") or {}).get("id"),
+    "benchmarks": {},
+}
+for bench in raw["benchmarks"]:
+    ops = bench.get("extra_info", {}).get("operations", 1)
+    best = bench["stats"]["min"]
+    record["benchmarks"][bench["name"]] = {
+        "operations": ops,
+        "best_seconds": round(best, 6),
+        "ops_per_sec": round(ops / best, 1),
+        "rounds_seconds": [round(v, 6) for v in bench["stats"]["data"]],
+    }
+
+with open(out_path, "w") as fh:
+    json.dump(record, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+
+width = max(len(n) for n in record["benchmarks"])
+print(f"\n{'benchmark'.ljust(width)}  {'ops/sec':>14}  {'best':>10}")
+for name, entry in sorted(record["benchmarks"].items()):
+    print(f"{name.ljust(width)}  {entry['ops_per_sec']:>14,.1f}  "
+          f"{entry['best_seconds']:>9.4f}s")
+print(f"\nwrote {out_path}")
+EOF

@@ -37,7 +37,7 @@ from repro.cache.coherence import (
     check_mesi_invariants,
 )
 from repro.cache.line import CacheLine
-from repro.cache.llc import SlicedLLC
+from repro.cache.llc import SLICE_MULT, U64_MASK, SlicedLLC
 from repro.cache.set_assoc import CacheGeometry, SetAssociativeCache
 from repro.memory.controller import MemoryController
 
@@ -52,12 +52,23 @@ DEFAULT_L2_LATENCY = 18
 DEFAULT_LLC_LATENCY = 35
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessStats:
-    """Aggregate hierarchy counters (one instance per hierarchy)."""
+    """Aggregate hierarchy counters (one instance per hierarchy).
 
-    accesses: int = 0
-    reads: int = 0
+    ``per_core_accesses`` is a plain list indexed by core id — the
+    hierarchy preallocates it to ``num_cores`` so the demand path is a
+    single list-index increment, not a dict get/set per access.  The
+    dataclass is slotted: several counters are bumped per memory
+    operation, and slot access skips the instance-dict lookup.
+
+    ``accesses`` and ``reads`` are *derived* properties, not stored
+    fields: every access hits or misses L1 exactly once, so
+    ``accesses == l1_hits + l1_misses``, and reads are whatever is
+    neither a write nor an ifetch.  Deriving them removes two counter
+    increments from the busiest basic block in the simulator.
+    """
+
     writes: int = 0
     ifetches: int = 0
     l1_hits: int = 0
@@ -75,22 +86,22 @@ class AccessStats:
     prefetch_fills: int = 0
     prefetch_skipped: int = 0
     total_latency: int = 0
-    per_core_accesses: dict[int, int] = field(default_factory=dict)
+    per_core_accesses: list[int] = field(default_factory=list)
 
-    def record_access(self, core: int, op: int, latency: int) -> None:
-        self.accesses += 1
-        self.total_latency += latency
-        if op == OP_WRITE:
-            self.writes += 1
-        elif op == OP_IFETCH:
-            self.ifetches += 1
-        else:
-            self.reads += 1
-        self.per_core_accesses[core] = self.per_core_accesses.get(core, 0) + 1
+    @property
+    def accesses(self) -> int:
+        """Total demand accesses (every one probes L1 exactly once)."""
+        return self.l1_hits + self.l1_misses
+
+    @property
+    def reads(self) -> int:
+        """Demand reads (accesses that are neither writes nor ifetches)."""
+        return self.l1_hits + self.l1_misses - self.writes - self.ifetches
 
     @property
     def average_latency(self) -> float:
-        return self.total_latency / self.accesses if self.accesses else 0.0
+        accesses = self.l1_hits + self.l1_misses
+        return self.total_latency / accesses if accesses else 0.0
 
     @property
     def llc_miss_rate(self) -> float:
@@ -100,6 +111,29 @@ class AccessStats:
 
 class CacheHierarchy:
     """Quad-core (configurable) inclusive MESI hierarchy."""
+
+    __slots__ = (
+        "num_cores",
+        "mapper",
+        "l1d",
+        "l1i",
+        "l2",
+        "llc",
+        "mc",
+        "l1_latency",
+        "l2_latency",
+        "llc_latency",
+        "dirty_forward_penalty",
+        "monitor",
+        "stats",
+        "_memory_versions",
+        "_write_counter",
+        "_line_bits",
+        "_llc_slice_of",
+        "_llc_slices",
+        "_llc_set_bits",
+        "_llc_slice_shift",
+    )
 
     def __init__(
         self,
@@ -144,61 +178,129 @@ class CacheHierarchy:
             else llc_latency
         )
         self.monitor = monitor
-        self.stats = AccessStats()
+        self.stats = AccessStats(per_core_accesses=[0] * num_cores)
         self._memory_versions: dict[int, int] = {}
         self._write_counter = 0
+        # Hot-path caches: resolved once so the per-access path never
+        # chases mapper/LLC attribute chains.
+        self._line_bits = self.mapper.line_bits
+        self._llc_slice_of = self.llc.slice_of
+        self._llc_slices = self.llc.slices
+        # Slice-hash ingredients for the inlined probe (bit-identical
+        # to SlicedLLC.slice_of; with one slice the shift is 64, so
+        # the expression degenerates to index 0 on its own).
+        self._llc_set_bits = self.llc._set_bits
+        self._llc_slice_shift = self.llc._slice_shift
 
     # ------------------------------------------------------------------
     # The demand access path
     # ------------------------------------------------------------------
 
     def access(self, core: int, op: int, addr: int, now: int = 0) -> int:
-        """Perform one memory operation; return its latency in cycles."""
-        line_addr = addr >> self.mapper.line_bits
-        l1 = self.l1i[core] if op == OP_IFETCH else self.l1d[core]
-        l2 = self.l2[core]
-        latency = self.l1_latency
+        """Perform one memory operation; return its latency in cycles.
 
-        # ---- L1 ----
-        line = l1.lookup(line_addr)
-        if line is not None:
-            l1.hits += 1
-            self.stats.l1_hits += 1
-            if op == OP_WRITE:
-                latency += self._write_hit(core, line_addr, line)
-                self._mark_written(core, op, line_addr)
-            l1.touch(line)
-            self.stats.record_access(core, op, latency)
-            return latency
+        This is the simulator's hottest function (one call per memory
+        op).  The hit paths are written as straight-line code: a single
+        dict probe per level, the LRU stamp written inline (see the
+        hot-path contract in :mod:`repro.cache.set_assoc`), and the
+        stats update unrolled — no helper calls until an actual miss or
+        coherence action needs handling.
+        """
+        line_addr = addr >> self._line_bits
+        # Opcode literals (0/1/2 = OP_READ/OP_WRITE/OP_IFETCH) avoid a
+        # module-global load per comparison on this path.  The read
+        # L1 hit — the single most executed basic block in the whole
+        # simulator — is specialised first with no further branching.
+        if op == 0:  # OP_READ
+            l1 = self.l1d[core]
+            line = l1._map.get(line_addr)
+            if line is not None:
+                latency = self.l1_latency
+                l1.hits += 1
+                stamp = l1._stamp + 1
+                l1._stamp = stamp
+                if l1._touch_stamps:
+                    line.stamp = stamp
+                else:
+                    l1.policy.on_touch(line, stamp)
+                stats = self.stats
+                stats.l1_hits += 1
+                stats.total_latency += latency
+                stats.per_core_accesses[core] += 1
+                return latency
+        else:
+            l1 = (self.l1i if op == 2 else self.l1d)[core]
+            line = l1._map.get(line_addr)
+            if line is not None:
+                latency = self.l1_latency
+                l1.hits += 1
+                stats = self.stats
+                stats.l1_hits += 1
+                if op == 1:  # OP_WRITE
+                    latency += self._write_hit(core, line_addr, line)
+                    # Inlined ``_mark_written``: ``line`` *is* the
+                    # resident L1 copy, so no re-probe is needed.
+                    self._write_counter += 1
+                    line.version = self._write_counter
+                    line.dirty = True
+                    stats.writes += 1
+                else:
+                    stats.ifetches += 1
+                stamp = l1._stamp + 1
+                l1._stamp = stamp
+                if l1._touch_stamps:
+                    line.stamp = stamp
+                else:
+                    l1.policy.on_touch(line, stamp)
+                stats.total_latency += latency
+                stats.per_core_accesses[core] += 1
+                return latency
+        stats = self.stats
+        latency = self.l1_latency
         l1.misses += 1
-        self.stats.l1_misses += 1
+        stats.l1_misses += 1
 
         # ---- L2 ----
+        l2 = self.l2[core]
         latency += self.l2_latency
-        l2line = l2.lookup(line_addr)
+        l2line = l2._map.get(line_addr)
         if l2line is not None:
             l2.hits += 1
-            self.stats.l2_hits += 1
+            stats.l2_hits += 1
             if op == OP_WRITE:
                 latency += self._write_hit(core, line_addr, l2line)
             self._fill_l1(core, l1, line_addr, l2line.state, l2line.version, now)
             if op == OP_WRITE:
                 self._mark_written(core, op, line_addr)
-            l2.touch(l2line)
-            self.stats.record_access(core, op, latency)
+            stamp = l2._stamp + 1
+            l2._stamp = stamp
+            if l2._touch_stamps:
+                l2line.stamp = stamp
+            else:
+                l2.policy.on_touch(l2line, stamp)
+            stats.total_latency += latency
+            if op == 1:  # OP_WRITE
+                stats.writes += 1
+            elif op == 2:  # OP_IFETCH
+                stats.ifetches += 1
+            stats.per_core_accesses[core] += 1
             return latency
         l2.misses += 1
-        self.stats.l2_misses += 1
+        stats.l2_misses += 1
 
         # ---- LLC ----
         latency += self.llc_latency
-        llc_line = self.llc.lookup(line_addr)
+        sl = self._llc_slices[
+            ((line_addr >> self._llc_set_bits) * SLICE_MULT & U64_MASK)
+            >> self._llc_slice_shift
+        ]
+        llc_line = sl._map.get(line_addr)
         if llc_line is not None:
-            self.stats.llc_hits += 1
-            latency += self._serve_llc_hit(core, op, llc_line, now)
-            self.stats.record_access(core, op, latency)
+            stats.llc_hits += 1
+            latency += self._serve_llc_hit(core, op, llc_line, now, sl)
+            self._record(stats, core, op, latency)
             return latency
-        self.stats.llc_misses += 1
+        stats.llc_misses += 1
 
         # ---- Memory ----
         mem_latency, llc_line = self._fetch_into_llc(
@@ -209,8 +311,70 @@ class CacheHierarchy:
         self._fill_private(core, op, line_addr, state, llc_line, now)
         if op == OP_WRITE:
             self._mark_written(core, op, line_addr)
-        self.stats.record_access(core, op, latency)
+        self._record(stats, core, op, latency)
         return latency
+
+    @staticmethod
+    def _record(stats: AccessStats, core: int, op: int, latency: int) -> None:
+        """Per-access stats update for the non-L1-hit paths (the L1-hit
+        path inlines this; off the fast path one call is fine).
+        ``accesses``/``reads`` are derived, so only writes and
+        ifetches are classified here."""
+        stats.total_latency += latency
+        if op == OP_WRITE:
+            stats.writes += 1
+        elif op == OP_IFETCH:
+            stats.ifetches += 1
+        stats.per_core_accesses[core] += 1
+
+    def access_many(
+        self,
+        requests: "list[tuple[int, int, int]]",
+        now: int = 0,
+    ) -> list[int]:
+        """Perform a batch of ``(core, op, addr)`` operations.
+
+        Semantically identical to calling :meth:`access` once per
+        request (same stats, same replacement decisions, same monitor
+        interactions) but with the loop overhead amortised: attribute
+        chains are hoisted out of the loop and the dominant case — an
+        L1 read hit — is handled entirely inline.  Trace replay and
+        synthetic warmups are built on this; the cycle-interleaved
+        multicore scheduler still uses :meth:`access` because it must
+        interleave cores between operations.
+
+        Returns the per-request latencies.
+        """
+        stats = self.stats
+        l1d = self.l1d
+        line_bits = self._line_bits
+        l1_latency = self.l1_latency
+        per_core = stats.per_core_accesses
+        access = self.access
+        latencies = []
+        append = latencies.append
+        for core, op, addr in requests:
+            if op == 0:  # OP_READ
+                l1 = l1d[core]
+                line_addr = addr >> line_bits
+                line = l1._map.get(line_addr)
+                if line is not None:
+                    # Inline L1 read hit (the overwhelmingly common
+                    # case): identical effect to ``access``.
+                    l1.hits += 1
+                    stats.l1_hits += 1
+                    stamp = l1._stamp + 1
+                    l1._stamp = stamp
+                    if l1._touch_stamps:
+                        line.stamp = stamp
+                    else:
+                        l1.policy.on_touch(line, stamp)
+                    stats.total_latency += l1_latency
+                    per_core[core] += 1
+                    append(l1_latency)
+                    continue
+            append(access(core, op, addr, now))
+        return latencies
 
     # ------------------------------------------------------------------
     # Write handling
@@ -228,7 +392,7 @@ class CacheHierarchy:
             # sharers.
             extra = self.llc_latency
             self.stats.upgrades += 1
-            llc_line = self.llc.lookup(line_addr)
+            llc_line = self.llc.slice_for(line_addr)._map.get(line_addr)
             if llc_line is None:
                 raise CoherenceViolation(
                     f"inclusion broken: private line {line_addr:#x} "
@@ -244,8 +408,8 @@ class CacheHierarchy:
     def _mark_written(self, core: int, op: int, line_addr: int) -> None:
         """Stamp the core's L1 copy with a fresh write version."""
         self._write_counter += 1
-        l1 = self.l1i[core] if op == OP_IFETCH else self.l1d[core]
-        line = l1.lookup(line_addr)
+        l1 = (self.l1i if op == OP_IFETCH else self.l1d)[core]
+        line = l1._map.get(line_addr)
         if line is not None:
             line.version = self._write_counter
             line.dirty = True
@@ -255,7 +419,8 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
 
     def _serve_llc_hit(
-        self, core: int, op: int, llc_line: CacheLine, now: int
+        self, core: int, op: int, llc_line: CacheLine, now: int,
+        sl=None,
     ) -> int:
         line_addr = llc_line.addr
         penalty = 0
@@ -277,7 +442,11 @@ class CacheHierarchy:
         self._fill_private(core, op, line_addr, state, llc_line, now)
         if op == OP_WRITE:
             self._mark_written(core, op, line_addr)
-        self.llc.touch(llc_line)
+        # The caller already resolved the owning slice; reuse it so the
+        # recency update does not re-hash the address.
+        if sl is None:
+            sl = self._llc_slices[self._llc_slice_of(line_addr)]
+        sl.touch(llc_line)
         return penalty
 
     def _flush_core_line(
@@ -295,7 +464,7 @@ class CacheHierarchy:
         newest = llc_line.version
         forwarded = False
         for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
-            line = cache.lookup(line_addr)
+            line = cache._map.get(line_addr)
             if line is None:
                 continue
             copies.append(line)
@@ -332,7 +501,7 @@ class CacheHierarchy:
 
     def _set_core_state(self, core: int, line_addr: int, state: int) -> None:
         for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
-            line = cache.lookup(line_addr)
+            line = cache._map.get(line_addr)
             if line is not None:
                 line.state = state
 
@@ -344,31 +513,45 @@ class CacheHierarchy:
         self, core: int, op: int, line_addr: int, state: int,
         llc_line: CacheLine, now: int,
     ) -> None:
+        # Every caller sits past an L1 *and* L2 miss for this core
+        # with no intervening fill, so both levels insert directly —
+        # the probes would always come back empty (and ``insert``'s
+        # duplicate guard would catch a violated assumption loudly).
         l2 = self.l2[core]
-        l2line = l2.lookup(line_addr)
-        if l2line is None:
-            l2line, victim = l2.insert(line_addr, version=llc_line.version)
-            if victim is not None:
-                self._handle_l2_eviction(core, victim, now)
+        l2line, victim = l2.insert(line_addr, version=llc_line.version)
+        if victim is not None:
+            self._handle_l2_eviction(core, victim, now)
         l2line.state = state
-        l1 = self.l1i[core] if op == OP_IFETCH else self.l1d[core]
-        self._fill_l1(core, l1, line_addr, state, l2line.version, now)
+        l1 = (self.l1i if op == OP_IFETCH else self.l1d)[core]
+        # Inlined :meth:`_fill_l1` (this runs on every miss that
+        # reaches the LLC or memory; the L2-hit path still uses the
+        # method form).
+        l1line, victim = l1.insert(line_addr, version=l2line.version)
+        if victim is not None and victim.dirty:
+            # Writeback into the L2 copy (present by inclusion).
+            vline = l2._map.get(victim.addr)
+            if vline is not None:
+                if victim.version > vline.version:
+                    vline.version = victim.version
+                vline.dirty = True
+        l1line.state = state
         llc_line.sharers |= 1 << core
 
     def _fill_l1(
         self, core: int, l1: SetAssociativeCache, line_addr: int,
         state: int, version: int, now: int,
     ) -> None:
-        l1line = l1.lookup(line_addr)
-        if l1line is None:
-            l1line, victim = l1.insert(line_addr, version=version)
-            if victim is not None and victim.dirty:
-                # Writeback into the L2 copy (present by inclusion).
-                l2line = self.l2[core].lookup(victim.addr)
-                if l2line is not None:
-                    if victim.version > l2line.version:
-                        l2line.version = victim.version
-                    l2line.dirty = True
+        # Callers sit past an L1 miss with no intervening fill of this
+        # address, so insert directly (the duplicate guard backs the
+        # assumption).
+        l1line, victim = l1.insert(line_addr, version=version)
+        if victim is not None and victim.dirty:
+            # Writeback into the L2 copy (present by inclusion).
+            l2line = self.l2[core]._map.get(victim.addr)
+            if l2line is not None:
+                if victim.version > l2line.version:
+                    l2line.version = victim.version
+                l2line.dirty = True
         l1line.state = state
 
     def _handle_l2_eviction(self, core: int, victim: CacheLine, now: int) -> None:
@@ -376,13 +559,17 @@ class CacheHierarchy:
         release the directory presence bit."""
         self.stats.l2_evictions += 1
         line_addr = victim.addr
-        for l1 in (self.l1d[core], self.l1i[core]):
-            l1line = l1.remove(line_addr)
-            if l1line is not None and l1line.dirty:
-                if l1line.version > victim.version:
-                    victim.version = l1line.version
-                victim.dirty = True
-        llc_line = self.llc.lookup(line_addr)
+        l1line = self.l1d[core].remove(line_addr)
+        if l1line is not None and l1line.dirty:
+            if l1line.version > victim.version:
+                victim.version = l1line.version
+            victim.dirty = True
+        l1line = self.l1i[core].remove(line_addr)
+        if l1line is not None and l1line.dirty:
+            if l1line.version > victim.version:
+                victim.version = l1line.version
+            victim.dirty = True
+        llc_line = self._llc_slices[self._llc_slice_of(line_addr)]._map.get(line_addr)
         if llc_line is None:
             raise CoherenceViolation(
                 f"inclusion broken: L2 victim {line_addr:#x} absent from LLC"
@@ -404,10 +591,14 @@ class CacheHierarchy:
         if demand and self.monitor is not None:
             captured = bool(self.monitor.on_access(line_addr, now))
         latency = self.mc.fetch(
-            self.mapper.byte_address(line_addr), now, prefetch=not demand
+            line_addr << self._line_bits, now, prefetch=not demand
         )
         version = self._memory_versions.get(line_addr, 0)
-        llc_line, victim = self.llc.insert(line_addr, version=version)
+        sl = self._llc_slices[
+            ((line_addr >> self._llc_set_bits) * SLICE_MULT & U64_MASK)
+            >> self._llc_slice_shift
+        ]
+        llc_line, victim = sl.insert(line_addr, version=version)
         if victim is not None:
             self._handle_llc_eviction(victim, now)
         if demand:
@@ -429,10 +620,11 @@ class CacheHierarchy:
         # detect back-invalidations.  The hook only schedules events.
         if self.monitor is not None:
             self.monitor.on_llc_eviction(victim, now)
-        for core in victim.sharer_list():
-            self._remove_core_copies(core, victim.addr, victim)
-            self.stats.back_invalidations += 1
-        victim.sharers = 0
+        if victim.sharers:
+            for core in victim.sharer_list():
+                self._remove_core_copies(core, victim.addr, victim)
+                self.stats.back_invalidations += 1
+            victim.sharers = 0
         if victim.dirty:
             self.mc.writeback(self.mapper.byte_address(victim.addr), now)
             self._memory_versions[victim.addr] = victim.version
@@ -529,12 +721,14 @@ class CacheHierarchy:
 
 
 def _decode_bits(mask: int) -> list[int]:
-    """Bit positions set in ``mask``."""
+    """Bit positions set in ``mask`` (ascending).
+
+    Iterates set bits only via isolate-lowest-bit + ``bit_length``,
+    so the cost scales with the popcount, not the highest core id.
+    """
     out = []
-    position = 0
     while mask:
-        if mask & 1:
-            out.append(position)
-        mask >>= 1
-        position += 1
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
     return out

@@ -47,15 +47,18 @@ class CacheLine:
         self.version = version
 
     def sharer_list(self) -> list[int]:
-        """Decode the sharers bitmask into a sorted list of core ids."""
+        """Decode the sharers bitmask into a sorted list of core ids.
+
+        Iterates set bits only (isolate-lowest-bit + ``bit_length``)
+        rather than shifting through every position — the mask is
+        consulted on every LLC eviction and coherence action.
+        """
         cores = []
         mask = self.sharers
-        core = 0
         while mask:
-            if mask & 1:
-                cores.append(core)
-            mask >>= 1
-            core += 1
+            low = mask & -mask
+            cores.append(low.bit_length() - 1)
+            mask ^= low
         return cores
 
     def __repr__(self) -> str:

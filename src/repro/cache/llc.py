@@ -18,9 +18,13 @@ from repro.cache.set_assoc import CacheGeometry, SetAssociativeCache
 from repro.utils.bitops import is_power_of_two, log2_exact
 
 #: Fibonacci multiply-shift constant for the slice hash — one multiply
-#: per mapping, on the hierarchy's hottest path.
-_SLICE_MULT = 0x9E3779B97F4A7C15
-_U64 = (1 << 64) - 1
+#: per mapping, on the hierarchy's hottest path.  Public: the
+#: hierarchy inlines the slice hash on its LLC probe paths (it must
+#: compute bit-identical slices to :meth:`SlicedLLC.slice_of`).
+SLICE_MULT = 0x9E3779B97F4A7C15
+U64_MASK = (1 << 64) - 1
+_SLICE_MULT = SLICE_MULT
+_U64 = U64_MASK
 
 
 class SlicedLLC:
@@ -82,6 +86,17 @@ class SlicedLLC:
     # Cache operations (delegate to the owning slice)
     # ------------------------------------------------------------------
 
+    def slice_for(self, line_addr: int) -> SetAssociativeCache:
+        """The slice array owning ``line_addr``.
+
+        For callers that need several operations on one address's
+        slice: grab it once instead of re-hashing the address per
+        delegated call.  (The hierarchy's hottest paths go further and
+        inline the slice hash itself — that inline expression must stay
+        bit-identical to :meth:`slice_of`.)
+        """
+        return self.slices[self.slice_of(line_addr)]
+
     def lookup(self, line_addr: int) -> CacheLine | None:
         return self.slices[self.slice_of(line_addr)].lookup(line_addr)
 
@@ -104,7 +119,7 @@ class SlicedLLC:
         return sl.set_lines(sl.set_index(line_addr))
 
     def occupancy(self) -> float:
-        return sum(len(sl) for sl in self.slices) / (
+        return sum(sl.resident for sl in self.slices) / (
             self.num_slices * self.geometry.num_lines
         )
 
@@ -116,7 +131,7 @@ class SlicedLLC:
         return self.lookup(line_addr) is not None
 
     def __len__(self) -> int:
-        return sum(len(sl) for sl in self.slices)
+        return sum(sl.resident for sl in self.slices)
 
     def __repr__(self) -> str:
         return (

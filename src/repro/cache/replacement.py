@@ -13,15 +13,39 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterable
+from operator import attrgetter
 
 from repro.cache.line import CacheLine
 from repro.utils.rng import derive_rng
 
+#: Shared key function for stamp-ordered victim scans (a C-level
+#: attrgetter beats a Python lambda on the eviction path).
+_line_stamp = attrgetter("stamp")
+
 
 class ReplacementPolicy:
-    """Interface: pick a victim among the resident lines of a set."""
+    """Interface: pick a victim among the resident lines of a set.
+
+    ``touch_stamps`` is the hot-path contract with
+    :class:`~repro.cache.set_assoc.SetAssociativeCache`: policies whose
+    ``on_touch`` does exactly ``line.stamp = stamp`` (LRU and the
+    stamp-quantising variants) set it True, and the cache then writes
+    the stamp inline on hits instead of paying a virtual dispatch —
+    the single hottest call site in the simulator.  ``victim`` (and
+    ``on_touch`` for policies that leave the flag False) stays fully
+    pluggable.
+    """
 
     name = "abstract"
+    touch_stamps = False
+    #: Same contract for fills: policies whose ``on_insert`` is exactly
+    #: ``line.stamp = stamp`` (everything but the random policy) set
+    #: this so the cache stamps inline on insertion too.
+    insert_stamps = False
+    #: And for evictions: policies whose ``victim`` is exactly
+    #: ``min(lines, key=stamp)`` (LRU, FIFO) set this so the cache
+    #: runs the C-level ``min`` without a dispatch per eviction.
+    victim_is_min_stamp = False
 
     def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
         raise NotImplementedError
@@ -37,9 +61,12 @@ class LruPolicy(ReplacementPolicy):
     """Evict the least-recently-used line (smallest stamp)."""
 
     name = "lru"
+    touch_stamps = True
+    insert_stamps = True
+    victim_is_min_stamp = True
 
     def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
-        return min(lines, key=lambda line: line.stamp)
+        return min(lines, key=_line_stamp)
 
     def on_touch(self, line: CacheLine, stamp: int) -> None:
         line.stamp = stamp
@@ -52,9 +79,11 @@ class FifoPolicy(ReplacementPolicy):
     """Evict the oldest-inserted line; hits do not refresh."""
 
     name = "fifo"
+    insert_stamps = True
+    victim_is_min_stamp = True
 
     def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
-        return min(lines, key=lambda line: line.stamp)
+        return min(lines, key=_line_stamp)
 
     def on_insert(self, line: CacheLine, stamp: int) -> None:
         line.stamp = stamp
@@ -85,6 +114,8 @@ class TreePlruPolicy(ReplacementPolicy):
     """
 
     name = "plru"
+    touch_stamps = True
+    insert_stamps = True
 
     def __init__(self, quantum: int = 4, seed: int = 0):
         if quantum < 1:
@@ -120,6 +151,8 @@ class LruRandomPolicy(ReplacementPolicy):
     """
 
     name = "lru_rand"
+    touch_stamps = True
+    insert_stamps = True
 
     def __init__(self, pool_size: int = 4, seed: int = 0):
         if pool_size < 1:
@@ -128,7 +161,7 @@ class LruRandomPolicy(ReplacementPolicy):
         self._rng: random.Random = derive_rng(seed, "lru-rand")
 
     def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
-        candidates = sorted(lines, key=lambda line: line.stamp)
+        candidates = sorted(lines, key=_line_stamp)
         pool = candidates[: self.pool_size]
         return pool[self._rng.randrange(len(pool))]
 

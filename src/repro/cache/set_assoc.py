@@ -12,7 +12,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.cache.line import CacheLine
-from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.replacement import ReplacementPolicy, _line_stamp, make_policy
 from repro.utils.bitops import is_power_of_two, log2_exact
 
 
@@ -54,7 +54,39 @@ class SetAssociativeCache:
 
     Lines are keyed by full line address within each set, so tags are
     implicit and exact.
+
+    Hot-path contract: resident lines are indexed twice — per-set
+    dicts (``_sets``, the ground truth victim-selection structure) and
+    one flat ``_map`` over the whole array, so the hit path is a
+    *single* dict probe with no set-index arithmetic.  The hierarchy
+    inlines that probe plus, for stamp-based policies
+    (``policy.touch_stamps``), a direct ``line.stamp`` write with the
+    next ``_stamp`` value — so ``_map``, ``_sets``, ``_set_mask``,
+    ``_stamp``, and ``_touch_stamps`` are a stable internal interface.
+    The :class:`ReplacementPolicy` object stays authoritative for
+    victim selection and for the ``on_touch`` of non-stamping
+    policies.  Both indices are mutated only by :meth:`insert` and
+    :meth:`remove`, which keeps them consistent by construction.
     """
+
+    __slots__ = (
+        "geometry",
+        "name",
+        "num_sets",
+        "ways",
+        "_set_mask",
+        "_sets",
+        "_map",
+        "policy",
+        "_victim",
+        "_victim_is_min_stamp",
+        "_touch_stamps",
+        "_insert_stamps",
+        "_stamp",
+        "hits",
+        "misses",
+        "evictions",
+    )
 
     def __init__(
         self,
@@ -71,9 +103,14 @@ class SetAssociativeCache:
         self._sets: list[dict[int, CacheLine]] = [
             {} for _ in range(self.num_sets)
         ]
+        self._map: dict[int, CacheLine] = {}
         if isinstance(policy, str):
             policy = make_policy(policy, seed=seed)
         self.policy = policy
+        self._victim = policy.victim
+        self._victim_is_min_stamp = policy.victim_is_min_stamp
+        self._touch_stamps = policy.touch_stamps
+        self._insert_stamps = policy.insert_stamps
         self._stamp = 0
         self.hits = 0
         self.misses = 0
@@ -88,7 +125,7 @@ class SetAssociativeCache:
     def lookup(self, line_addr: int) -> CacheLine | None:
         """Return the resident line or None.  Does not update recency
         (callers decide whether an operation counts as a use)."""
-        return self._sets[line_addr & self._set_mask].get(line_addr)
+        return self._map.get(line_addr)
 
     def probe(self, line_addr: int) -> bool:
         """Presence check with hit/miss accounting."""
@@ -100,8 +137,12 @@ class SetAssociativeCache:
 
     def touch(self, line: CacheLine) -> None:
         """Record a use of ``line`` for the replacement policy."""
-        self._stamp += 1
-        self.policy.on_touch(line, self._stamp)
+        stamp = self._stamp + 1
+        self._stamp = stamp
+        if self._touch_stamps:
+            line.stamp = stamp
+        else:
+            self.policy.on_touch(line, stamp)
 
     def insert(self, line_addr: int, version: int = 0) -> tuple[CacheLine, CacheLine | None]:
         """Fill ``line_addr``; return ``(new_line, evicted_line_or_None)``.
@@ -119,18 +160,41 @@ class SetAssociativeCache:
             )
         victim = None
         if len(cache_set) >= self.ways:
-            victim = self.policy.victim(cache_set.values())
+            if self._victim_is_min_stamp:
+                victim = min(cache_set.values(), key=_line_stamp)
+            else:
+                victim = self._victim(cache_set.values())
             del cache_set[victim.addr]
+            del self._map[victim.addr]
             self.evictions += 1
-        line = CacheLine(line_addr, version=version)
-        self._stamp += 1
-        self.policy.on_insert(line, self._stamp)
+        # Direct construction (``__new__`` + slot writes, mirroring
+        # CacheLine.__init__): fills run once per miss at every level,
+        # and the skipped init-frame is measurable there.
+        line = CacheLine.__new__(CacheLine)
+        line.addr = line_addr
+        line.state = 0
+        line.dirty = False
+        line.stamp = 0
+        line.sharers = 0
+        line.pingpong = False
+        line.accessed = False
+        line.version = version
+        stamp = self._stamp + 1
+        self._stamp = stamp
+        if self._insert_stamps:
+            line.stamp = stamp
+        else:
+            self.policy.on_insert(line, stamp)
         cache_set[line_addr] = line
+        self._map[line_addr] = line
         return line, victim
 
     def remove(self, line_addr: int) -> CacheLine | None:
         """Remove and return a resident line (None when absent)."""
-        return self._sets[line_addr & self._set_mask].pop(line_addr, None)
+        line = self._sets[line_addr & self._set_mask].pop(line_addr, None)
+        if line is not None:
+            del self._map[line_addr]
+        return line
 
     # ------------------------------------------------------------------
 
@@ -143,16 +207,25 @@ class SetAssociativeCache:
         """Resident lines of one set (snapshot list)."""
         return list(self._sets[index].values())
 
+    @property
+    def resident(self) -> int:
+        """Number of resident lines, O(1).
+
+        ``len`` of the flat index replaces the former walk over every
+        set — and, unlike a hand-maintained counter, cannot drift from
+        the ground-truth structures.
+        """
+        return len(self._map)
+
     def occupancy(self) -> float:
-        """Fraction of line slots in use."""
-        resident = sum(len(s) for s in self._sets)
-        return resident / (self.num_sets * self.ways)
+        """Fraction of line slots in use (O(1))."""
+        return len(self._map) / (self.num_sets * self.ways)
 
     def __contains__(self, line_addr: int) -> bool:
-        return self.lookup(line_addr) is not None
+        return line_addr in self._map
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return len(self._map)
 
     def __repr__(self) -> str:
         return (

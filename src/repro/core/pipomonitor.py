@@ -32,7 +32,7 @@ from repro.utils.events import EventQueue
 DEFAULT_PREFETCH_DELAY = 40
 
 
-@dataclass
+@dataclass(slots=True)
 class MonitorStats:
     """PiPoMonitor activity counters.
 

@@ -27,6 +27,22 @@ from repro.workloads.base import WorkloadGenerator
 class Core:
     """One hardware thread bound to a private L1/L2 stack."""
 
+    __slots__ = (
+        "core_id",
+        "workload",
+        "hierarchy",
+        "time",
+        "instructions",
+        "memory_ops",
+        "finished",
+        "_pending_op",
+        "_pending_addr",
+        "_last_latency",
+        "_primed",
+        "_send",
+        "_access",
+    )
+
     def __init__(
         self,
         core_id: int,
@@ -40,9 +56,17 @@ class Core:
         self.instructions = 0
         self.memory_ops = 0
         self.finished = False
-        self._pending: tuple[int, int] | None = None
+        # Pending memory op as two plain slots (op None = no op):
+        # packing/unpacking a tuple per record is measurable in the
+        # scheduler loop.
+        self._pending_op: int | None = None
+        self._pending_addr = 0
         self._last_latency = 0
         self._primed = False
+        # Bound-method caches for the two calls made per scheduler
+        # step; the advance/execute loop dominates simulation time.
+        self._send = workload.send
+        self._access = hierarchy.access
 
     def advance(self) -> bool:
         """Consume the next workload record (compute phase).
@@ -54,7 +78,7 @@ class Core:
             return False
         try:
             if self._primed:
-                item = self.workload.send(self._last_latency)
+                item = self._send(self._last_latency)
             else:
                 item = next(self.workload)
                 self._primed = True
@@ -67,23 +91,68 @@ class Core:
         self.time += compute
         self.instructions += compute
         if op is None:
-            self._pending = None
+            self._pending_op = None
             self._last_latency = 0
         else:
-            self._pending = (op, addr)
+            self._pending_op = op
+            self._pending_addr = addr
         return True
 
     def execute_pending(self) -> None:
         """Perform the memory operation scheduled by :meth:`advance`."""
-        if self._pending is None:
+        op = self._pending_op
+        if op is None:
             return
-        op, addr = self._pending
-        latency = self.hierarchy.access(self.core_id, op, addr, now=self.time)
+        latency = self._access(self.core_id, op, self._pending_addr, self.time)
         self.time += latency
         self.instructions += 1
         self.memory_ops += 1
         self._last_latency = latency
-        self._pending = None
+        self._pending_op = None
+
+    def step(self, budget: int | float) -> bool:
+        """Execute the pending operation, then advance one record.
+
+        The scheduler's per-operation unit of work as a single call
+        (``execute_pending`` + budget check + ``advance``), saving two
+        method dispatches per memory operation.  ``budget`` is the
+        per-core instruction budget (``float('inf')`` for unbounded).
+        Returns False — with the core marked finished — when the
+        budget is exhausted or the workload ends.
+        """
+        op = self._pending_op
+        if op is not None:
+            latency = self._access(self.core_id, op, self._pending_addr, self.time)
+            self.time += latency
+            self.instructions += 1
+            self.memory_ops += 1
+            self._last_latency = latency
+        if self.instructions >= budget:
+            self._pending_op = None
+            self.finished = True
+            return False
+        # Inlined ``advance`` (same semantics; scheduler-only fast
+        # path — the method form remains for direct callers).  The
+        # scheduler only steps cores whose initial ``advance``
+        # succeeded, so the generator is always primed here.
+        try:
+            item = self._send(self._last_latency)
+        except StopIteration:
+            self._pending_op = None
+            self.finished = True
+            return False
+        compute, op, addr = item
+        if compute < 0:
+            raise ValueError("compute instruction count must be >= 0")
+        self.time += compute
+        self.instructions += compute
+        if op is None:
+            self._pending_op = None
+            self._last_latency = 0
+        else:
+            self._pending_op = op
+            self._pending_addr = addr
+        return True
 
     def __repr__(self) -> str:
         return (

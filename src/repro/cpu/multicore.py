@@ -63,26 +63,46 @@ class MulticoreSystem:
         instruction budget; then drain remaining events."""
         if max_instructions_per_core is not None and max_instructions_per_core <= 0:
             raise ValueError("instruction budget must be positive")
-        heap: list[tuple[int, int]] = []
+        # Scheduler keys are single ints, ``time << 8 | core_id`` —
+        # identical ordering (time, then core id) to the former tuple
+        # keys, but int comparisons and no per-push allocation.
+        if len(self.cores) > 256:
+            raise ValueError("scheduler supports at most 256 cores")
+        heap: list[int] = []
         for core in self.cores:
             if core.advance():
-                heapq.heappush(heap, (core.time, core.core_id))
+                heapq.heappush(heap, core.time << 8 | core.core_id)
         completion = {core.core_id: core.time for core in self.cores}
+        # Hot loop: one iteration per memory operation across all
+        # cores.  Locals for everything touched every iteration; the
+        # event-queue drain is skipped outright while no events are
+        # scheduled (the monitor-less baseline never schedules any);
+        # ``heapreplace`` re-queues a stepped core with one sift
+        # instead of a pop + push pair.
+        heapreplace = heapq.heapreplace
+        heappop = heapq.heappop
+        cores = self.cores
+        events = self.events
+        run_until = events.run_until
+        # The heap list object itself is stable (EventQueue only ever
+        # mutates it in place), so one binding outlives the loop.
+        event_heap = events._heap
+        budget = (
+            max_instructions_per_core
+            if max_instructions_per_core is not None
+            else float("inf")
+        )
         while heap:
-            scheduled_time, core_id = heapq.heappop(heap)
-            core = self.cores[core_id]
+            key = heap[0]
+            core = cores[key & 255]
             # Fire every event due at or before this operation.
-            self.events.run_until(scheduled_time)
-            core.execute_pending()
-            budget_done = (
-                max_instructions_per_core is not None
-                and core.instructions >= max_instructions_per_core
-            )
-            if budget_done or not core.advance():
-                core.finished = True
-                completion[core_id] = core.time
-                continue
-            heapq.heappush(heap, (core.time, core_id))
+            if event_heap:
+                run_until(key >> 8)
+            if core.step(budget):
+                heapreplace(heap, core.time << 8 | key & 255)
+            else:
+                heappop(heap)
+                completion[key & 255] = core.time
         # Late events (e.g. prefetches scheduled near the end).
         while (next_time := self.events.next_time()) is not None:
             self.events.run_until(next_time)

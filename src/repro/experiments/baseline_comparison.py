@@ -24,9 +24,11 @@ from repro.cpu.system import run_workloads
 from repro.experiments.common import (
     ExperimentResult,
     instructions_per_core,
+    is_full_scale,
     scaled_mix_workloads,
     scaled_system_config,
 )
+from repro.experiments.parallel import run_cells
 from repro.utils.events import EventQueue
 from repro.utils.rng import derive_seed
 
@@ -48,14 +50,53 @@ def _run_with_monitor(monitor_factory, workloads, instructions, seed, config):
     return result, monitor
 
 
+def _run_benign_cell(cell):
+    """One benign-mix simulation per scheme (module-level so the
+    parallel runner can fan the four schemes out across processes)."""
+    scheme, mix, full, instructions, seed = cell
+    workloads = scaled_mix_workloads(mix, full)
+    if scheme == "base":
+        config = scaled_system_config(full, monitor_enabled=False)
+        outcome = run_workloads(config, workloads, instructions, seed=seed)
+        return scheme, outcome.mean_time, None
+    if scheme == "pipo":
+        config = scaled_system_config(full)
+        outcome = run_workloads(config, workloads, instructions, seed=seed)
+        fp = outcome.monitor_stats.false_positives_per_million_instructions(
+            outcome.total_instructions
+        )
+        return scheme, outcome.mean_time, fp
+    pipo_config = scaled_system_config(full)
+    config = scaled_system_config(full, monitor_enabled=False)
+    if scheme == "table":
+        # Same reach as the filter: one table set per filter bucket.
+        factory = lambda ev: TableRecorder(  # noqa: E731
+            ev, num_sets=pipo_config.filter.num_buckets, ways=8,
+            prefetch_delay=pipo_config.prefetch_delay,
+        )
+    elif scheme == "bitp":
+        factory = lambda ev: BitpPrefetcher(ev, prefetch_delay=40)  # noqa: E731
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    outcome, monitor = _run_with_monitor(
+        factory, workloads, instructions, seed, config
+    )
+    fp = monitor.stats.false_positives_per_million_instructions(
+        outcome.total_instructions
+    )
+    return scheme, outcome.mean_time, fp
+
+
 def run(
     seed: int = 0,
     full: bool | None = None,
     mix: str = DEFAULT_MIX,
     instructions: int | None = None,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     if instructions is None:
         instructions = instructions_per_core(full)
+    full = is_full_scale(full)
     result = ExperimentResult(
         "ablate-baselines", "PiPoMonitor vs table recorder vs BITP"
     )
@@ -91,40 +132,22 @@ def run(
         ],
     )
 
-    # --- benign behaviour on a mix ---
-    workloads = scaled_mix_workloads(mix, full)
-    baseline_config = scaled_system_config(full, monitor_enabled=False)
-    base = run_workloads(baseline_config, workloads, instructions, seed=seed)
-    config = scaled_system_config(full, monitor_enabled=False)
-
-    pipo_config = scaled_system_config(full)
-    pipo = run_workloads(pipo_config, workloads, instructions, seed=seed)
-    pipo_fp = pipo.monitor_stats.false_positives_per_million_instructions(
-        pipo.total_instructions
-    )
-    pipo_norm = base.mean_time / pipo.mean_time
-
-    scaled_sets = pipo_config.filter.num_buckets  # same reach as filter
-    table_result, table_monitor = _run_with_monitor(
-        lambda ev: TableRecorder(
-            ev, num_sets=scaled_sets, ways=8,
-            prefetch_delay=pipo_config.prefetch_delay,
-        ),
-        workloads, instructions, seed, config,
-    )
-    table_fp = table_monitor.stats.false_positives_per_million_instructions(
-        table_result.total_instructions
-    )
-    table_norm = base.mean_time / table_result.mean_time
-
-    bitp_result, bitp_monitor = _run_with_monitor(
-        lambda ev: BitpPrefetcher(ev, prefetch_delay=40),
-        workloads, instructions, seed, config,
-    )
-    bitp_fp = bitp_monitor.stats.false_positives_per_million_instructions(
-        bitp_result.total_instructions
-    )
-    bitp_norm = base.mean_time / bitp_result.mean_time
+    # --- benign behaviour on a mix (independent cells, fanned out) ---
+    cells = [
+        (scheme, mix, full, instructions, seed)
+        for scheme in ("base", "pipo", "table", "bitp")
+    ]
+    outcomes = {
+        scheme: (mean_time, fp)
+        for scheme, mean_time, fp in run_cells(cells, _run_benign_cell, jobs=jobs)
+    }
+    base_time = outcomes["base"][0]
+    pipo_time, pipo_fp = outcomes["pipo"]
+    table_time, table_fp = outcomes["table"]
+    bitp_time, bitp_fp = outcomes["bitp"]
+    pipo_norm = base_time / pipo_time
+    table_norm = base_time / table_time
+    bitp_norm = base_time / bitp_time
 
     result.add_table(
         f"benign run on {mix} ({instructions:,} insns/core)",

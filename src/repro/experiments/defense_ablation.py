@@ -26,33 +26,65 @@ from repro.attacks.analysis import adaptive_warmup, key_recovery
 from repro.attacks.primeprobe import run_prime_probe_attack
 from repro.core.config import TABLE_II
 from repro.experiments.common import ExperimentResult
+from repro.experiments.parallel import run_cells
 
 POLICIES = ("lru", "lru_rand", "random")
 DELAYS = (40, 1500)
+
+
+def _run_cell(cell):
+    """One full attack run; ``delay is None`` is the undefended
+    baseline for that LLC policy.  Module-level for the parallel
+    runner; the attack derives all randomness from ``seed``."""
+    policy, delay, iterations, seed = cell
+    config = replace(TABLE_II, llc_policy=policy)
+    warmup = adaptive_warmup(iterations)
+    if delay is None:
+        outcome = run_prime_probe_attack(
+            monitor_enabled=False, iterations=iterations, seed=seed,
+            config=config,
+        )
+        recovery = key_recovery(
+            outcome.square_observed, outcome.key_bits, warmup=warmup
+        )
+        return policy, delay, recovery, None
+    outcome = run_prime_probe_attack(
+        monitor_enabled=True, iterations=iterations, seed=seed,
+        config=replace(config, prefetch_delay=delay),
+    )
+    recovery = key_recovery(
+        outcome.square_observed, outcome.key_bits, warmup=warmup
+    )
+    observed = sum(outcome.square_observed) / iterations
+    return policy, delay, recovery, observed
 
 
 def run(
     seed: int = 0,
     full: bool | None = None,
     iterations: int = 100,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         "ablate-defense",
         "Fig. 6 outcome vs LLC replacement policy and prefetch delay",
     )
+    cells = [
+        (policy, delay, iterations, seed)
+        for policy in POLICIES
+        for delay in (None, *DELAYS)
+    ]
+    outcomes = run_cells(cells, _run_cell, jobs=jobs)
+    recoveries = {
+        (policy, delay): (recovery, observed)
+        for policy, delay, recovery, observed in outcomes
+    }
+
     baseline_rows = []
     defended_rows = []
     data: dict = {"baseline": {}, "defended": {}}
     for policy in POLICIES:
-        config = replace(TABLE_II, llc_policy=policy)
-        base = run_prime_probe_attack(
-            monitor_enabled=False, iterations=iterations, seed=seed,
-            config=config,
-        )
-        warmup = adaptive_warmup(iterations)
-        base_recovery = key_recovery(
-            base.square_observed, base.key_bits, warmup=warmup
-        )
+        base_recovery, _ = recoveries[(policy, None)]
         baseline_rows.append([
             policy,
             round(base_recovery.steady_accuracy, 3),
@@ -61,14 +93,7 @@ def run(
         data["baseline"][policy] = base_recovery
         row = [policy]
         for delay in DELAYS:
-            defended = run_prime_probe_attack(
-                monitor_enabled=True, iterations=iterations, seed=seed,
-                config=replace(config, prefetch_delay=delay),
-            )
-            recovery = key_recovery(
-                defended.square_observed, defended.key_bits, warmup=warmup
-            )
-            observed = sum(defended.square_observed) / iterations
+            recovery, observed = recoveries[(policy, delay)]
             row.extend([
                 round(recovery.steady_accuracy, 3),
                 round(observed, 2),

@@ -23,11 +23,34 @@ from repro.cpu.system import run_workloads
 from repro.experiments.common import (
     ExperimentResult,
     instructions_per_core,
+    is_full_scale,
     scaled_mix_workloads,
     scaled_system_config,
 )
+from repro.experiments.parallel import run_cells
 from repro.utils.stats import geometric_mean
 from repro.workloads.mixes import mix_names
+
+
+def _run_cell(cell):
+    """One independent simulation: ``size is None`` is the per-mix
+    no-monitor baseline, otherwise a monitored run at that (l, b).
+
+    Module-level and argument-pure so the parallel runner can ship it
+    to worker processes; every RNG inside derives from ``seed``.
+    """
+    mix, size, full, instructions, seed = cell
+    workloads = scaled_mix_workloads(mix, full)
+    if size is None:
+        config = scaled_system_config(full, monitor_enabled=False)
+        outcome = run_workloads(config, workloads, instructions, seed=seed)
+        return mix, size, outcome.mean_time, None
+    config = scaled_system_config(full, filter_size=size)
+    outcome = run_workloads(config, workloads, instructions, seed=seed)
+    fp = outcome.monitor_stats.false_positives_per_million_instructions(
+        outcome.total_instructions
+    )
+    return mix, size, outcome.mean_time, fp
 
 
 def run(
@@ -36,35 +59,39 @@ def run(
     mixes: list[str] | None = None,
     filter_sizes: tuple[tuple[int, int], ...] | None = None,
     instructions: int | None = None,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Run every (mix, filter size) cell plus per-mix baselines."""
+    """Run every (mix, filter size) cell plus per-mix baselines.
+
+    Cells are independent simulations and run through
+    :func:`repro.experiments.parallel.run_cells` — ``REPRO_JOBS`` (or
+    ``jobs``) fans them out across CPUs with bit-identical results.
+    """
     if mixes is None:
         mixes = mix_names()
     if filter_sizes is None:
         filter_sizes = FIG8_FILTER_SIZES
     if instructions is None:
         instructions = instructions_per_core(full)
+    full = is_full_scale(full)
+
+    cells = [
+        (mix, size, full, instructions, seed)
+        for mix in mixes
+        for size in (None, *filter_sizes)
+    ]
+    outcomes = run_cells(cells, _run_cell, jobs=jobs)
 
     baseline_time: dict[str, float] = {}
     normalized: dict[tuple[str, tuple[int, int]], float] = {}
     false_positives: dict[tuple[str, tuple[int, int]], float] = {}
-
-    for mix in mixes:
-        workloads = scaled_mix_workloads(mix, full)
-        baseline_config = scaled_system_config(full, monitor_enabled=False)
-        base = run_workloads(
-            baseline_config, workloads, instructions, seed=seed
-        )
-        baseline_time[mix] = base.mean_time
-        for size in filter_sizes:
-            config = scaled_system_config(full, filter_size=size)
-            outcome = run_workloads(config, workloads, instructions, seed=seed)
-            normalized[(mix, size)] = base.mean_time / outcome.mean_time
-            false_positives[(mix, size)] = (
-                outcome.monitor_stats.false_positives_per_million_instructions(
-                    outcome.total_instructions
-                )
-            )
+    for mix, size, mean_time, fp in outcomes:
+        if size is None:
+            baseline_time[mix] = mean_time
+    for mix, size, mean_time, fp in outcomes:
+        if size is not None:
+            normalized[(mix, size)] = baseline_time[mix] / mean_time
+            false_positives[(mix, size)] = fp
 
     result = ExperimentResult(
         "fig8", "Normalized performance and false positives per mix"

@@ -1,0 +1,87 @@
+"""Seed-deterministic parallel experiment fan-out.
+
+The performance experiments (Fig. 8, secThr sensitivity, baseline and
+defense ablations) are grids of *independent* full-system simulations:
+every (mix, config) cell builds its own hierarchy, derives every RNG
+from the experiment seed, and shares no mutable state with any other
+cell.  That makes them embarrassingly parallel — this module fans the
+cells out across worker processes with :mod:`multiprocessing`.
+
+Determinism contract
+--------------------
+``run_cells(cells, fn)`` returns ``[fn(cell) for cell in cells]`` —
+same values, same order — no matter how many jobs are used.  This
+holds because cell functions are required to be pure up to their seed:
+every stochastic component inside a cell must derive from arguments of
+the cell (the repo-wide ``derive_seed`` discipline), never from global
+state.  The golden-equivalence test pins this: ``REPRO_JOBS=1`` and
+``REPRO_JOBS>1`` must produce bit-identical experiment results.
+
+``REPRO_JOBS`` selects the worker count (default ``1`` — serial, no
+processes spawned; ``0`` means one worker per CPU).  Cell functions
+must be module-level (picklable) and take a single argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
+
+Cell = TypeVar("Cell")
+
+_ENV_VAR = "REPRO_JOBS"
+
+
+def repro_jobs() -> int:
+    """Resolve the configured worker count.
+
+    ``REPRO_JOBS`` unset/empty/``1`` → 1 (serial), ``0`` → CPU count,
+    ``n`` → n.  Invalid values raise so typos do not silently
+    serialise a sweep.
+    """
+    raw = os.environ.get(_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_ENV_VAR} must be an integer >= 0, got {raw!r}"
+        ) from None
+    if jobs < 0:
+        raise ValueError(f"{_ENV_VAR} must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_cells(
+    cells: Iterable[Cell],
+    fn: Callable[[Cell], Any],
+    jobs: int | None = None,
+) -> list[Any]:
+    """Apply ``fn`` to every cell; return results in cell order.
+
+    ``jobs=None`` reads ``REPRO_JOBS``.  With one job (or one cell)
+    the map runs in-process — no pool, no pickling — which keeps unit
+    tests and debugging sessions free of multiprocessing machinery.
+    Parallel runs prefer the ``fork`` start method (cheap, inherits
+    the loaded modules) and fall back to the platform default where
+    fork is unavailable.
+    """
+    cell_list: Sequence[Cell] = list(cells)
+    if jobs is None:
+        jobs = repro_jobs()
+    if jobs <= 1 or len(cell_list) <= 1:
+        return [fn(cell) for cell in cell_list]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else None
+    )
+    workers = min(jobs, len(cell_list))
+    with ctx.Pool(processes=workers) as pool:
+        # chunksize=1: cells are coarse (whole simulations), so plain
+        # round-robin beats batching for load balance.
+        return pool.map(fn, cell_list, chunksize=1)

@@ -11,9 +11,11 @@ from repro.cpu.system import run_workloads
 from repro.experiments.common import (
     ExperimentResult,
     instructions_per_core,
+    is_full_scale,
     scaled_mix_workloads,
     scaled_system_config,
 )
+from repro.experiments.parallel import run_cells
 from repro.utils.stats import geometric_mean
 
 SECTHR_SWEEP = (1, 2, 3)
@@ -22,31 +24,58 @@ SECTHR_SWEEP = (1, 2, 3)
 DEFAULT_MIXES = ("mix1", "mix7", "mix3")
 
 
+def _run_cell(cell):
+    """One (mix, secThr) simulation; ``secthr is None`` is the per-mix
+    no-monitor baseline.  Module-level for the parallel runner."""
+    mix, secthr, full, instructions, seed = cell
+    workloads = scaled_mix_workloads(mix, full)
+    if secthr is None:
+        config = scaled_system_config(full, monitor_enabled=False)
+        outcome = run_workloads(config, workloads, instructions, seed=seed)
+        return mix, secthr, outcome.mean_time, None
+    config = scaled_system_config(full, security_threshold=secthr)
+    outcome = run_workloads(config, workloads, instructions, seed=seed)
+    fp = outcome.monitor_stats.false_positives_per_million_instructions(
+        outcome.total_instructions
+    )
+    return mix, secthr, outcome.mean_time, fp
+
+
 def run(
     seed: int = 0,
     full: bool | None = None,
     mixes: tuple[str, ...] = DEFAULT_MIXES,
     instructions: int | None = None,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     if instructions is None:
         instructions = instructions_per_core(full)
+    full = is_full_scale(full)
+
+    cells = [
+        (mix, secthr, full, instructions, seed)
+        for mix in mixes
+        for secthr in (None, *SECTHR_SWEEP)
+    ]
+    outcomes = run_cells(cells, _run_cell, jobs=jobs)
+    baseline_time = {
+        mix: mean_time for mix, secthr, mean_time, _ in outcomes
+        if secthr is None
+    }
+    cell_results = {
+        (mix, secthr): (mean_time, fp)
+        for mix, secthr, mean_time, fp in outcomes
+        if secthr is not None
+    }
+
     rows = []
     per_thr_norm: dict[int, list[float]] = {t: [] for t in SECTHR_SWEEP}
     for mix in mixes:
-        workloads = scaled_mix_workloads(mix, full)
-        base = run_workloads(
-            scaled_system_config(full, monitor_enabled=False),
-            workloads, instructions, seed=seed,
-        )
         row = [mix]
         for secthr in SECTHR_SWEEP:
-            config = scaled_system_config(full, security_threshold=secthr)
-            outcome = run_workloads(config, workloads, instructions, seed=seed)
-            norm = base.mean_time / outcome.mean_time
+            mean_time, fp = cell_results[(mix, secthr)]
+            norm = baseline_time[mix] / mean_time
             per_thr_norm[secthr].append(norm)
-            fp = outcome.monitor_stats.false_positives_per_million_instructions(
-                outcome.total_instructions
-            )
             row.extend([round(norm, 5), round(fp, 1)])
         rows.append(row)
 

@@ -42,6 +42,11 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.filters.hashing import PartialKeyHasher
+from repro.utils.bitops import (
+    GOLDEN_GAMMA as _GOLDEN_GAMMA,
+    MIX_MULT_1 as _MIX_MULT_1,
+    MIX_MULT_2 as _MIX_MULT_2,
+)
 from repro.utils.rng import derive_seed
 
 _U64 = (1 << 64) - 1
@@ -125,6 +130,15 @@ class AutoCuckooFilter:
                 "security_threshold exceeds the hardware counter range"
             )
         self.hasher = PartialKeyHasher(num_buckets, fingerprint_bits, seed=seed)
+        # Bound-method cache: ``access`` runs once per LLC demand miss,
+        # and the attribute chase to the hasher costs more than the
+        # call itself.
+        self._candidate_buckets = self.hasher.candidate_buckets
+        # Precomputed splitmix64 additive term for the kick loop's
+        # inlined alt-index mix (the hasher's alt salt folded into the
+        # golden-gamma increment once, instead of per relocation).
+        self._alt_mix_add = ((self.hasher._alt_salt + 1) * _GOLDEN_GAMMA) & _U64
+        self._index_mask = num_buckets - 1
         self.geometry = FilterGeometry(
             num_buckets, entries_per_bucket, fingerprint_bits
         )
@@ -167,28 +181,41 @@ class AutoCuckooFilter:
         line satisfies the Ping-Pong pattern.
         """
         self.total_accesses += 1
-        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        fp, i1, i2 = self._candidate_buckets(key)
         # --- Query: is a valid entry of ξ_x present in µ_x or σ_x? ---
-        for index in (i1, i2):
-            row = self._fps[index]
+        # ``in`` guards keep every scan a C-level pass with no
+        # exception machinery: the miss path (which dominates — every
+        # new line inserts) costs exactly two scans, a hit one guard
+        # scan plus the slot-locating ``index``.  (A try/``list.index``
+        # single-scan variant measured slower here: saturated inserts
+        # raise several ValueErrors per access.)
+        fps = self._fps
+        row = fps[i1]
+        if fp in row:
+            index = i1
+        else:
+            row = fps[i2]
             if fp in row:
-                slot = row.index(fp)
-                sec = self._security[index][slot]
-                if sec < self.security_threshold:
-                    sec += 1
-                    self._security[index][slot] = sec
-                if self._addresses is not None:
-                    entry = self._addresses[index][slot]
-                    if entry is not None:
-                        entry.add(key)
-                return sec
-        # --- Miss: insert a fresh entry (never fails). ---
-        self._insert_new(key, fp, i1, i2)
-        return 0
+                index = i2
+            else:
+                # --- Miss: insert a fresh entry (never fails). ---
+                self._insert_new(key, fp, i1, i2)
+                return 0
+        slot = row.index(fp)
+        sec_row = self._security[index]
+        sec = sec_row[slot]
+        if sec < self.security_threshold:
+            sec += 1
+            sec_row[slot] = sec
+        if self._addresses is not None:
+            entry = self._addresses[index][slot]
+            if entry is not None:
+                entry.add(key)
+        return sec
 
     def contains(self, key: int) -> bool:
         """Probabilistic membership (subject to fingerprint collisions)."""
-        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        fp, i1, i2 = self._candidate_buckets(key)
         return fp in self._fps[i1] or fp in self._fps[i2]
 
     def security_of(self, key: int) -> int | None:
@@ -196,7 +223,7 @@ class AutoCuckooFilter:
 
         Read-only — does not count as an Access.
         """
-        fp, i1, i2 = self.hasher.candidate_buckets(key)
+        fp, i1, i2 = self._candidate_buckets(key)
         for index in (i1, i2):
             row = self._fps[index]
             if fp in row:
@@ -208,7 +235,28 @@ class AutoCuckooFilter:
     # ------------------------------------------------------------------
 
     def _insert_new(self, key: int, fp: int, i1: int, i2: int) -> None:
-        if self._try_place(i1, fp, 0, key) or self._try_place(i2, fp, 0, key):
+        # Vacancy checks are ``0 in row`` C-level scans: at steady
+        # state the filter is 100% occupied, buckets are full, and the
+        # guard fails after one pass with no exception machinery —
+        # this loop is the monitor's hottest code after the Query.
+        fps = self._fps
+        security = self._security
+        addresses = self._addresses
+        index = -1
+        row = fps[i1]
+        if 0 in row:
+            index = i1
+        else:
+            row = fps[i2]
+            if 0 in row:
+                index = i2
+        if index >= 0:
+            slot = row.index(0)
+            row[slot] = fp
+            security[index][slot] = 0
+            if addresses is not None:
+                addresses[index][slot] = {key}
+            self.valid_count += 1
             return
         # Both candidate buckets full: start a relocation chain.
         state = self._lcg
@@ -216,19 +264,28 @@ class AutoCuckooFilter:
         index = i1 if state >> 63 else i2
         carried_fp = fp
         carried_sec = 0
-        carried_addrs: set[int] | None = {key} if self._addresses is not None else None
+        carried_addrs: set[int] | None = {key} if addresses is not None else None
         relocations = 0
+        max_kicks = self.max_kicks
+        entries_per_bucket = self.entries_per_bucket
+        # alt_index inlined (same arithmetic as PartialKeyHasher): at
+        # saturation every insert runs the full MNK-kick chain, so the
+        # per-kick call is worth eliminating.
+        alt_add = self._alt_mix_add
+        index_mask = self._index_mask
+        mult1 = _MIX_MULT_1
+        mult2 = _MIX_MULT_2
         while True:
             state = (state * 6364136223846793005 + 1442695040888963407) & _U64
-            slot = (state >> 33) % self.entries_per_bucket
-            row = self._fps[index]
-            sec_row = self._security[index]
+            slot = (state >> 33) % entries_per_bucket
+            row = fps[index]
+            sec_row = security[index]
             carried_fp, row[slot] = row[slot], carried_fp
             carried_sec, sec_row[slot] = sec_row[slot], carried_sec
-            if self._addresses is not None:
-                addr_row = self._addresses[index]
+            if addresses is not None:
+                addr_row = addresses[index]
                 carried_addrs, addr_row[slot] = addr_row[slot], carried_addrs
-            if relocations == self.max_kicks:
+            if relocations == max_kicks:
                 # Autonomic deletion: the record that would need one
                 # more relocation is evicted.  Occupied-slot count is
                 # unchanged (the new record took a slot, one was lost).
@@ -237,32 +294,23 @@ class AutoCuckooFilter:
                 return
             relocations += 1
             self.total_relocations += 1
-            index = self.hasher.alt_index(index, carried_fp)
-            if self._try_place(index, carried_fp, carried_sec, None, carried_addrs):
-                self._lcg = state
-                return
-
-    def _try_place(
-        self,
-        index: int,
-        fp: int,
-        security: int,
-        key: int | None,
-        addrs: set[int] | None = None,
-    ) -> bool:
-        """Place a record in a vacancy of bucket ``index`` if any."""
-        row = self._fps[index]
-        if 0 not in row:
-            return False
-        slot = row.index(0)
-        row[slot] = fp
-        self._security[index][slot] = security
-        if self._addresses is not None:
-            if key is not None:
-                addrs = {key}
-            self._addresses[index][slot] = addrs if addrs is not None else set()
-        self.valid_count += 1
-        return True
+            z = (carried_fp + alt_add) & _U64
+            z = ((z ^ (z >> 30)) * mult1) & _U64
+            z = ((z ^ (z >> 27)) * mult2) & _U64
+            index = (index ^ z ^ (z >> 31)) & index_mask
+            row = fps[index]
+            if 0 not in row:
+                continue
+            slot = row.index(0)
+            row[slot] = carried_fp
+            security[index][slot] = carried_sec
+            if addresses is not None:
+                addresses[index][slot] = (
+                    carried_addrs if carried_addrs is not None else set()
+                )
+            self.valid_count += 1
+            self._lcg = state
+            return
 
     # ------------------------------------------------------------------
     # Introspection / instrumentation

@@ -18,7 +18,15 @@ splitmix64 mixes.
 
 from __future__ import annotations
 
-from repro.utils.bitops import is_power_of_two, mask, mix64
+from repro.utils.bitops import (
+    GOLDEN_GAMMA as _GOLDEN_GAMMA,
+    MIX_MULT_1 as _MIX_MULT_1,
+    MIX_MULT_2 as _MIX_MULT_2,
+    U64_MASK as _U64,
+    is_power_of_two,
+    mask,
+    mix64,
+)
 
 #: Distinct salts so the index hash and the fingerprint hash are
 #: statistically independent functions, as separate hardware hash
@@ -59,10 +67,16 @@ class PartialKeyHasher:
         self._index_mask = num_buckets - 1
         self._fp_mask = mask(fingerprint_bits)
         self._seed = seed
+        # The three hash-module salts, resolved once: the filter calls
+        # candidate_buckets on every LLC demand miss, so the per-call
+        # XOR of module salt and instance seed is hoisted here.
+        self._fp_salt = _SALT_FPRINT ^ seed
+        self._index_salt = _SALT_INDEX ^ seed
+        self._alt_salt = _SALT_ALT ^ seed
 
     def fingerprint(self, key: int) -> int:
         """Return ``ξ_x`` — the non-zero ``f``-bit fingerprint of key."""
-        fp = mix64(key, salt=_SALT_FPRINT ^ self._seed) & self._fp_mask
+        fp = mix64(key, salt=self._fp_salt) & self._fp_mask
         # Zero encodes an empty slot; remap it to the all-ones pattern.
         # This biases one codepoint (doubles its probability) which is
         # the standard practical compromise and is negligible for f>=8.
@@ -70,17 +84,43 @@ class PartialKeyHasher:
 
     def index1(self, key: int) -> int:
         """Return ``µ_x`` — the primary candidate bucket index."""
-        return mix64(key, salt=_SALT_INDEX ^ self._seed) & self._index_mask
+        return mix64(key, salt=self._index_salt) & self._index_mask
 
     def alt_index(self, index: int, fingerprint: int) -> int:
         """Return the other candidate bucket for ``fingerprint``.
 
-        Involutive: ``alt_index(alt_index(i, fp), fp) == i``.
+        Involutive: ``alt_index(alt_index(i, fp), fp) == i``.  Called
+        once per relocation on the filter's kick path, so the mix is
+        inlined like :meth:`candidate_buckets`.
         """
-        return (index ^ mix64(fingerprint, salt=_SALT_ALT ^ self._seed)) & self._index_mask
+        z = (fingerprint + (self._alt_salt + 1) * _GOLDEN_GAMMA) & _U64
+        z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+        z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+        return (index ^ z ^ (z >> 31)) & self._index_mask
 
     def candidate_buckets(self, key: int) -> tuple[int, int, int]:
-        """Return ``(fingerprint, µ_x, σ_x)`` for key in one call."""
-        fp = self.fingerprint(key)
-        i1 = self.index1(key)
-        return fp, i1, self.alt_index(i1, fp)
+        """Return ``(fingerprint, µ_x, σ_x)`` for key in one call.
+
+        The three splitmix64 mixes are inlined (same arithmetic as
+        :func:`repro.utils.bitops.mix64`) — this sits on the
+        monitor's per-miss path, where three nested function calls per
+        query are measurable.
+        """
+        fp_mask = self._fp_mask
+        # fingerprint(key)
+        z = (key + (self._fp_salt + 1) * _GOLDEN_GAMMA) & _U64
+        z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+        z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+        fp = (z ^ (z >> 31)) & fp_mask
+        if not fp:
+            fp = fp_mask
+        # index1(key)
+        z = (key + (self._index_salt + 1) * _GOLDEN_GAMMA) & _U64
+        z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+        z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+        i1 = (z ^ (z >> 31)) & self._index_mask
+        # alt_index(i1, fp)
+        z = (fp + (self._alt_salt + 1) * _GOLDEN_GAMMA) & _U64
+        z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+        z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+        return fp, i1, (i1 ^ z ^ (z >> 31)) & self._index_mask

@@ -48,13 +48,24 @@ class MemoryController:
         """Fetch one line; return total latency (queue wait + DRAM).
 
         ``now`` is the cycle the request reaches the controller.
+        The channel-occupancy arithmetic is inlined here (one call per
+        LLC miss — keep it in sync with :meth:`_occupy_channel`, which
+        stays the canonical form for the posted-writeback path), and
+        the flat-latency DRAM mode skips the row-buffer model.
         """
-        wait = self._occupy_channel(now)
+        free_at = self._channel_free_at
+        start = now if now > free_at else free_at
+        wait = start - now
+        self._channel_free_at = start + self.burst_cycles
+        self.total_queue_wait += wait
         if prefetch:
             self.prefetch_fetches += 1
         else:
             self.demand_fetches += 1
-        return wait + self.dram.access_latency(byte_address)
+        dram = self.dram
+        if not dram.open_page:
+            return wait + dram.latency
+        return wait + dram.access_latency(byte_address)
 
     def writeback(self, byte_address: int, now: int) -> int:
         """Write one line back to memory; returns the queue wait.

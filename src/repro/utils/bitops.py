@@ -13,10 +13,18 @@ from __future__ import annotations
 _U64 = (1 << 64) - 1
 
 #: Odd multiplicative constants from the splitmix64 reference
-#: implementation (Steele, Lea & Flood, OOPSLA'14).
-_MIX_MULT_1 = 0xBF58476D1CE4E5B9
-_MIX_MULT_2 = 0x94D049BB133111EB
-_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+#: implementation (Steele, Lea & Flood, OOPSLA'14).  Public: hot-path
+#: callers (the filter's partial-key hasher) inline the mix arithmetic
+#: against these exact constants rather than calling :func:`mix64`.
+MIX_MULT_1 = 0xBF58476D1CE4E5B9
+MIX_MULT_2 = 0x94D049BB133111EB
+GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+U64_MASK = _U64
+
+# Backwards-compatible private aliases (pre-existing internal users).
+_MIX_MULT_1 = MIX_MULT_1
+_MIX_MULT_2 = MIX_MULT_2
+_GOLDEN_GAMMA = GOLDEN_GAMMA
 
 
 def mix64(value: int, salt: int = 0) -> int:

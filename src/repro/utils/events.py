@@ -35,7 +35,13 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` with deterministic tie-breaking."""
+    """Min-heap of :class:`Event` with deterministic tie-breaking.
+
+    Contract: ``_heap`` is only ever mutated in place, never rebound —
+    the multicore scheduler holds a direct reference to the list as
+    its cheap "any events pending?" check, and a rebinding (e.g. a
+    compaction that builds a new list) would silently detach it.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -43,6 +49,16 @@ class EventQueue:
 
     def __len__(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def has_pending(self) -> bool:
+        """Cheap emptiness check for scheduler hot loops.
+
+        May report True when only cancelled events remain (it does not
+        scan the heap); callers use it to skip :meth:`run_until`
+        entirely in the common no-events case.
+        """
+        return bool(self._heap)
 
     def schedule(self, time: int, action: Callable[[], Any], label: str = "") -> Event:
         """Schedule ``action`` to fire at ``time``; returns the Event."""

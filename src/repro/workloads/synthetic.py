@@ -26,7 +26,6 @@ from repro.utils.rng import derive_rng
 from repro.workloads.base import (
     Workload,
     WorkloadGenerator,
-    compute_gap,
     core_code_base,
     core_data_base,
 )
@@ -116,28 +115,46 @@ class _SyntheticWorkload(Workload):
         conflict_limit = ifetch_limit + self.conflict_fraction
         current_line = None
         line_visits_left = 0
+        # One record per retired memory operation: everything invariant
+        # is hoisted out of the loop, including the compute-gap
+        # dithering arithmetic (inlined from ``compute_gap`` — same
+        # expression, same single ``rng.random()`` draw, so generated
+        # streams are unchanged).
+        rng_random = rng.random
+        gap_target = 1.0 / self.mem_fraction - 1.0
+        gap_base = int(gap_target)
+        gap_frac = gap_target - gap_base
+        write_fraction = self.write_fraction
+        code_lines = self.code_lines
+        conflict_lines = self.conflict_lines
+        conflict_stride = self.conflict_stride
+        visits_per_line = self.accesses_per_line - 1
         while True:
-            gap = compute_gap(self.mem_fraction, rng)
-            roll = rng.random()
-            if roll < ifetch_limit:
-                # Walk the code region mostly sequentially.
-                code_line = (code_line + 1) % self.code_lines
-                op = OP_IFETCH
-                addr = code_base + code_line * LINE
-            elif roll < conflict_limit:
-                conflict_index = (conflict_index + 1) % self.conflict_lines
-                line = conflict_base + conflict_index * self.conflict_stride
-                op = OP_WRITE if rng.random() < self.write_fraction else OP_READ
-                addr = data_base + line * LINE
-            else:
+            gap = gap_base + 1 if rng_random() < gap_frac else gap_base
+            roll = rng_random()
+            if roll >= conflict_limit:
                 if line_visits_left > 0 and current_line is not None:
                     line_visits_left -= 1
                     line = current_line
                 else:
                     line = next_data_line(rng)
                     current_line = line
-                    line_visits_left = self.accesses_per_line - 1
-                op = OP_WRITE if rng.random() < self.write_fraction else OP_READ
+                    line_visits_left = visits_per_line
+                op = OP_WRITE if rng_random() < write_fraction else OP_READ
+                addr = data_base + line * LINE
+            elif roll < ifetch_limit:
+                # Walk the code region mostly sequentially.
+                code_line += 1
+                if code_line == code_lines:
+                    code_line = 0
+                op = OP_IFETCH
+                addr = code_base + code_line * LINE
+            else:
+                conflict_index += 1
+                if conflict_index == conflict_lines:
+                    conflict_index = 0
+                line = conflict_base + conflict_index * conflict_stride
+                op = OP_WRITE if rng_random() < write_fraction else OP_READ
                 addr = data_base + line * LINE
             yield gap, op, addr
 

@@ -1,0 +1,182 @@
+"""Golden-equivalence guards for the hot-path overhaul.
+
+The fast paths (``access_many``, the inlined hit paths, the parallel
+experiment fan-out) must be *semantically invisible*: same stats, same
+filter state, same simulation results as the plain serial code, for
+the same seed.  These tests pin that, so a future optimisation that
+quietly changes replacement decisions, stat accounting, or RNG
+derivation fails loudly.
+"""
+
+import dataclasses
+
+from repro.cache.hierarchy import OP_IFETCH, OP_READ, OP_WRITE
+from repro.core.config import TABLE_II, SystemConfig
+from repro.core.pipomonitor import PiPoMonitor
+from repro.cpu.system import run_workloads
+from repro.experiments import (
+    baseline_comparison,
+    defense_ablation,
+    fig8_performance,
+    secthr_sensitivity,
+)
+from repro.experiments.common import scaled_mix_workloads, scaled_system_config
+from repro.experiments.parallel import run_cells
+from repro.utils.events import EventQueue
+
+_U64 = (1 << 64) - 1
+
+
+def _request_stream(count=6000, cores=2):
+    """Deterministic mixed request stream touching every service tier:
+    a hot region (L1 hits), a warm region (L2/LLC), and a cold sweep
+    (misses), with writes and ifetches sprinkled in."""
+    state = 0xC0FFEE
+    requests = []
+    for i in range(count):
+        state = (state * 6364136223846793005 + 1442695040888963407) & _U64
+        roll = state >> 33
+        core = i % cores
+        if roll % 10 < 6:           # hot: 16 KiB
+            line = roll % 256
+        elif roll % 10 < 8:         # warm: 2 MiB
+            line = roll % 32768
+        else:                       # cold sweep
+            line = 1 << 20 | (i * 7)
+        if roll % 17 == 0:
+            op = OP_IFETCH
+        elif roll % 5 == 0:
+            op = OP_WRITE
+        else:
+            op = OP_READ
+        requests.append((core, op, line * 64))
+    return requests
+
+
+def _monitored_hierarchy(seed=3):
+    h = TABLE_II.build_hierarchy(seed=seed)
+    monitor = PiPoMonitor(TABLE_II.filter.build(seed=seed + 1), EventQueue())
+    monitor.attach(h)
+    return h, monitor
+
+
+def _filter_state(fltr):
+    return (
+        fltr.total_accesses,
+        fltr.total_relocations,
+        fltr.autonomic_deletions,
+        fltr.valid_count,
+        fltr._fps,
+        fltr._security,
+    )
+
+
+class TestAccessManyEquivalence:
+    def test_batched_matches_serial(self):
+        requests = _request_stream()
+        serial_h, serial_m = _monitored_hierarchy()
+        batched_h, batched_m = _monitored_hierarchy()
+
+        serial_latencies = [
+            serial_h.access(core, op, addr) for core, op, addr in requests
+        ]
+        batched_latencies = batched_h.access_many(requests)
+
+        assert serial_latencies == batched_latencies
+        assert serial_h.stats == batched_h.stats
+        assert _filter_state(serial_m.filter) == _filter_state(batched_m.filter)
+        assert dataclasses.asdict(serial_m.stats) == dataclasses.asdict(
+            batched_m.stats
+        )
+        for a, b in (
+            (serial_h.l1d, batched_h.l1d),
+            (serial_h.l1i, batched_h.l1i),
+            (serial_h.l2, batched_h.l2),
+            (serial_h.llc.slices, batched_h.llc.slices),
+        ):
+            for ca, cb in zip(a, b):
+                assert (ca.hits, ca.misses, ca.evictions) == (
+                    cb.hits, cb.misses, cb.evictions
+                )
+                assert sorted(line.addr for line in ca.lines()) == sorted(
+                    line.addr for line in cb.lines()
+                )
+        batched_h.check_invariants()
+
+    def test_per_core_and_resident_counters(self):
+        requests = _request_stream(count=2000)
+        h, _ = _monitored_hierarchy()
+        h.access_many(requests)
+        assert sum(h.stats.per_core_accesses) == h.stats.accesses
+        # O(1) resident counters agree with a full walk of the sets.
+        for cache in (*h.l1d, *h.l1i, *h.l2, *h.llc.slices):
+            assert len(cache) == sum(1 for _ in cache.lines())
+            assert cache.occupancy() == len(cache) / (
+                cache.num_sets * cache.ways
+            )
+
+
+def _cell(args):
+    """Module-level (picklable) cell: one full simulation, returning
+    the complete SimulationResult for equality comparison."""
+    mix, instructions, seed = args
+    config = scaled_system_config(False)
+    workloads = scaled_mix_workloads(mix, False)
+    return run_workloads(config, workloads, instructions, seed=seed)
+
+
+class TestParallelRunnerEquivalence:
+    def test_simulation_result_identical_across_processes(self):
+        args = ("mix3", 20_000, 7)
+        in_process = _cell(args)
+        # Two cells force the pool path (a single cell short-circuits
+        # to the serial map); both workers must reproduce the
+        # in-process SimulationResult exactly, field for field.
+        worker_results = run_cells([args, args], _cell, jobs=2)
+        assert worker_results[0] == in_process
+        assert worker_results[1] == in_process
+
+    def test_fig8_serial_vs_parallel(self):
+        kwargs = dict(
+            seed=5, mixes=["mix1", "mix3"],
+            filter_sizes=((1024, 8), (512, 8)), instructions=20_000,
+        )
+        serial = fig8_performance.run(jobs=1, **kwargs)
+        parallel = fig8_performance.run(jobs=4, **kwargs)
+        assert serial.data["normalized"] == parallel.data["normalized"]
+        assert serial.data["false_positives"] == parallel.data["false_positives"]
+        assert serial.tables == parallel.tables
+
+    def test_secthr_serial_vs_parallel(self):
+        kwargs = dict(seed=5, mixes=("mix3",), instructions=20_000)
+        serial = secthr_sensitivity.run(jobs=1, **kwargs)
+        parallel = secthr_sensitivity.run(jobs=3, **kwargs)
+        assert serial.data["means"] == parallel.data["means"]
+        assert serial.tables == parallel.tables
+
+    def test_baselines_serial_vs_parallel(self):
+        kwargs = dict(seed=5, instructions=20_000)
+        serial = baseline_comparison.run(jobs=1, **kwargs)
+        parallel = baseline_comparison.run(jobs=4, **kwargs)
+        assert serial.data["fp"] == parallel.data["fp"]
+        assert serial.tables == parallel.tables
+
+    def test_defense_ablation_serial_vs_parallel(self):
+        kwargs = dict(seed=3, iterations=20)
+        serial = defense_ablation.run(jobs=1, **kwargs)
+        parallel = defense_ablation.run(jobs=3, **kwargs)
+        # KeyRecovery objects cross the process boundary; they must
+        # compare equal field-for-field against the in-process run.
+        assert serial.data["baseline"] == parallel.data["baseline"]
+        assert serial.data["defended"] == parallel.data["defended"]
+        assert serial.tables == parallel.tables
+
+    def test_repro_jobs_env(self, monkeypatch):
+        from repro.experiments.parallel import repro_jobs
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert repro_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert repro_jobs() == 4
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert repro_jobs() >= 1
