@@ -172,9 +172,13 @@ def test_filter_access_mixed(benchmark):
 def test_fig8_single_cell(benchmark):
     from repro.experiments import fig8_performance
 
+    # The budget is pinned (not the scaled default, which moved from
+    # 200 k to 2 M in the array-native PR) so this trajectory point
+    # stays comparable across every PR's BENCH_trajectory record.
     def run(_state):
         fig8_performance.run(
-            seed=0, mixes=["mix1"], filter_sizes=((1024, 8),), jobs=1,
+            seed=0, mixes=["mix1"], filter_sizes=((1024, 8),),
+            instructions=200_000, jobs=1,
         )
 
     result = benchmark.pedantic(

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Diff two hot-path benchmark records and flag regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Both inputs are compact records as written by ``benchmarks/run_perf.sh``
+(``BENCH_hotpath.json``) *or* entries inside ``BENCH_trajectory.json``
+selected by commit::
+
+    python benchmarks/compare.py --trajectory abc123def456 deadbeef0123
+
+Exit status is 1 when any shared benchmark regressed by more than the
+threshold (default 10 %), which makes the script usable as a CI gate.
+On the shared 1-CPU hosts a single pair of runs carries ±30 % noise —
+for decisions, compare records produced by the interleaved best-of
+methodology described in PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "results" / "BENCH_trajectory.json"
+
+
+def load_record(source: str, trajectory: bool) -> dict:
+    """Load a compact benchmark record from a file or a trajectory commit."""
+    if not trajectory:
+        with open(source) as fh:
+            record = json.load(fh)
+        if "benchmarks" not in record:
+            raise SystemExit(f"{source}: not a compact benchmark record")
+        return record
+    with open(TRAJECTORY_PATH) as fh:
+        entries = json.load(fh)
+    matches = [e for e in entries if e.get("commit", "").startswith(source)]
+    if not matches:
+        raise SystemExit(f"no trajectory entry for commit {source!r}")
+    return matches[-1]  # latest run of that commit
+
+
+def compare(baseline: dict, candidate: dict, threshold: float) -> int:
+    base = baseline["benchmarks"]
+    cand = candidate["benchmarks"]
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        raise SystemExit("records share no benchmarks")
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>14}  {'candidate':>14}  {'ratio':>7}")
+    regressions = []
+    for name in shared:
+        b = base[name]["ops_per_sec"]
+        c = cand[name]["ops_per_sec"]
+        ratio = c / b if b else float("inf")
+        flag = ""
+        if ratio < 1.0 - threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio > 1.0 + threshold:
+            flag = "  improved"
+        print(f"{name.ljust(width)}  {b:>14,.1f}  {c:>14,.1f}  {ratio:>6.2f}x{flag}")
+    only = sorted(set(base) ^ set(cand))
+    if only:
+        print(f"\nnot in both records (ignored): {', '.join(only)}")
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{threshold:.0%}:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nno regression beyond {threshold:.0%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="compact record path (or commit with --trajectory)")
+    parser.add_argument("candidate", help="compact record path (or commit with --trajectory)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="regression threshold as a fraction (default 0.10)")
+    parser.add_argument("--trajectory", action="store_true",
+                        help="treat the two arguments as commit prefixes to "
+                             "look up in BENCH_trajectory.json")
+    args = parser.parse_args(argv)
+    if not 0 < args.threshold < 1:
+        parser.error("--threshold must be in (0, 1)")
+    baseline = load_record(args.baseline, args.trajectory)
+    candidate = load_record(args.candidate, args.trajectory)
+    return compare(baseline, candidate, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,10 +6,15 @@
 # Writes:
 #   benchmarks/results/BENCH_hotpath.json       — compact ops/sec record
 #   benchmarks/results/BENCH_hotpath.raw.json   — full pytest-benchmark dump
+#                                                 (gitignored host-noise detail)
+#   benchmarks/results/BENCH_trajectory.json    — one appended entry per run,
+#                                                 stamped with the git SHA, so
+#                                                 the perf trajectory across
+#                                                 PRs stays machine-readable
 #
-# The compact record is the file to diff across PRs: one entry per
-# benchmark with ops/sec (from the fastest round) and the raw per-round
-# timings.
+# The compact record is the file to diff across PRs (see
+# benchmarks/compare.py, which flags >10% regressions between two
+# records); the trajectory file accumulates history.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,6 +22,12 @@ mkdir -p benchmarks/results
 
 RAW=benchmarks/results/BENCH_hotpath.raw.json
 OUT=benchmarks/results/BENCH_hotpath.json
+TRAJECTORY=benchmarks/results/BENCH_trajectory.json
+GIT_SHA=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+GIT_DIRTY=""
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    GIT_DIRTY="-dirty"
+fi
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_hotpath.py \
@@ -24,18 +35,18 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     --benchmark-json="$RAW" \
     "$@"
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$RAW" "$OUT" <<'EOF'
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$RAW" "$OUT" "$TRAJECTORY" "$GIT_SHA$GIT_DIRTY" <<'EOF'
 import json
 import sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, out_path, trajectory_path, git_sha = sys.argv[1:5]
 with open(raw_path) as fh:
     raw = json.load(fh)
 
 record = {
     "machine": raw.get("machine_info", {}).get("node"),
     "datetime": raw.get("datetime"),
-    "commit": (raw.get("commit_info") or {}).get("id"),
+    "commit": git_sha,
     "benchmarks": {},
 }
 for bench in raw["benchmarks"]:
@@ -52,10 +63,32 @@ with open(out_path, "w") as fh:
     json.dump(record, fh, indent=2, sort_keys=True)
     fh.write("\n")
 
+# Append this run to the machine-readable trajectory (one entry per
+# invocation; compact form only — per-round data stays in the raw dump).
+try:
+    with open(trajectory_path) as fh:
+        trajectory = json.load(fh)
+except (FileNotFoundError, json.JSONDecodeError):
+    trajectory = []
+trajectory.append({
+    "commit": record["commit"],
+    "datetime": record["datetime"],
+    "machine": record["machine"],
+    "benchmarks": {
+        name: {"ops_per_sec": entry["ops_per_sec"],
+               "best_seconds": entry["best_seconds"]}
+        for name, entry in record["benchmarks"].items()
+    },
+})
+with open(trajectory_path, "w") as fh:
+    json.dump(trajectory, fh, indent=2, sort_keys=True)
+    fh.write("\n")
+
 width = max(len(n) for n in record["benchmarks"])
 print(f"\n{'benchmark'.ljust(width)}  {'ops/sec':>14}  {'best':>10}")
 for name, entry in sorted(record["benchmarks"].items()):
     print(f"{name.ljust(width)}  {entry['ops_per_sec']:>14,.1f}  "
           f"{entry['best_seconds']:>9.4f}s")
 print(f"\nwrote {out_path}")
+print(f"appended run {len(trajectory)} (commit {record['commit']}) to {trajectory_path}")
 EOF

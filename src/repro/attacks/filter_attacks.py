@@ -60,15 +60,22 @@ def fill_to_capacity(
     assumes a full filter (every fill then evicts exactly one record).
     """
     rng = derive_rng(seed, "fill-to-capacity")
+    randrange = rng.randrange
     cap = max_fills if max_fills is not None else fltr.capacity * 64
     fills = 0
+    # Batched sweep: each access grows ``valid_count`` by at most one,
+    # so a span of ``capacity - valid_count`` accesses can never
+    # overshoot the stop condition — the loop drives exactly the same
+    # address stream through ``access_many`` span by span and stops on
+    # the same fill count as the per-access form.
     while fltr.valid_count < fltr.capacity:
         if fills >= cap:
             raise RuntimeError(
                 f"filter did not reach capacity in {cap} fills"
             )
-        fltr.access(rng.randrange(address_space))
-        fills += 1
+        span = min(fltr.capacity - fltr.valid_count, cap - fills)
+        fltr.access_many(randrange(address_space) for _ in range(span))
+        fills += span
     return fills
 
 

@@ -21,6 +21,10 @@ from repro.utils.events import EventQueue
 class BitpPrefetcher:
     """Prefetch every back-invalidated line after a short delay."""
 
+    #: Stateless scheme: it inspects the sharers mask of *every*
+    #: eviction victim, tagged or not.
+    needs_all_evictions = True
+
     def __init__(self, events: EventQueue, prefetch_delay: int = 40):
         if prefetch_delay < 0:
             raise ValueError("prefetch_delay must be non-negative")

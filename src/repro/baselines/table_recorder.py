@@ -31,6 +31,9 @@ _INDEX_SALT = 0x7AB1E
 class TableRecorder:
     """Set-associative full-address recorder with LRU replacement."""
 
+    #: Same pEvict contract as PiPoMonitor: only tagged victims matter.
+    needs_all_evictions = False
+
     def __init__(
         self,
         events: EventQueue,

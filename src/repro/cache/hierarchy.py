@@ -4,13 +4,22 @@ Structure per core: private L1I + L1D (64 KB, 4-way, 2 cycles) and a
 private L2 (256 KB, 8-way, 18 cycles), both inclusive; a shared sliced
 LLC (4 MB, 16-way, 35 cycles) inclusive of everything; DRAM behind a
 memory controller (200 cycles).  Coherence is MESI with the directory
-embedded in the LLC (``CacheLine.sharers`` presence bitmask).
+embedded in the LLC (the ``sharers`` bit-field of the packed line
+word).
 
 An access walks down the levels; the returned latency is the sum of the
 lookup latencies of every level visited plus memory time, mirroring a
 blocking in-order load.  All *policy* decisions of the hierarchy —
 inclusion victims (back-invalidation), dirty forwarding, upgrades,
 writebacks — happen here, in one place, so they can be tested directly.
+
+Per-line state is **array-native**: every resident line is a packed
+int in its array's flat ``_map`` (see :mod:`repro.cache.line` for the
+bit layout) plus a stamp int in its per-set dict, and this module
+mutates those words in place.  Fills, evictions, and coherence actions
+therefore allocate no objects; :class:`~repro.cache.line.CacheLine`
+objects are materialised only at the monitor boundary (eviction hooks)
+and on introspection APIs.
 
 PiPoMonitor (or any baseline defense) plugs in as ``monitor`` with two
 hooks:
@@ -19,7 +28,10 @@ hooks:
   fetch that reaches memory; the return value tags the filled LLC line
   as Ping-Pong (the paper's capture path).
 * ``on_llc_eviction(line, now)``       — called when a tagged line is
-  evicted from the LLC (the paper's pEvict message).
+  evicted from the LLC (the paper's pEvict message).  Monitors that
+  only react to tagged lines declare ``needs_all_evictions = False``
+  and the hierarchy then skips materialising untagged victims — the
+  common case on the miss path.
 
 The monitor prefetches by calling :meth:`CacheHierarchy.prefetch_fill`.
 """
@@ -36,7 +48,20 @@ from repro.cache.coherence import (
     CoherenceViolation,
     check_mesi_invariants,
 )
-from repro.cache.line import CacheLine
+from repro.cache.line import (
+    ACCESSED,
+    DIRTY,
+    PINGPONG,
+    SHARERS_BITS,
+    SHARERS_SHIFT,
+    STATE_MASK,
+    STATE_SHIFT,
+    VERSION_BELOW,
+    VERSION_SHIFT,
+    CacheLine,
+    CacheLineView,
+    decode_sharers,
+)
 from repro.cache.llc import SLICE_MULT, U64_MASK, SlicedLLC
 from repro.cache.set_assoc import CacheGeometry, SetAssociativeCache
 from repro.memory.controller import MemoryController
@@ -50,6 +75,15 @@ OP_IFETCH = 2
 DEFAULT_L1_LATENCY = 2
 DEFAULT_L2_LATENCY = 18
 DEFAULT_LLC_LATENCY = 35
+
+# Short aliases for the packed-word arithmetic below.
+_VS = VERSION_SHIFT
+_SS = SHARERS_SHIFT
+_SMASK = (1 << SHARERS_BITS) - 1
+_SHARERS_FIELD = _SMASK << _SS
+#: ``word & _KEEP_ON_FLUSH`` drops dirty + state + version (the fields
+#: a snoop-flush rewrites) while keeping pingpong/accessed/sharers.
+_KEEP_ON_FLUSH = (VERSION_BELOW ^ DIRTY) & ~STATE_MASK
 
 
 @dataclass(slots=True)
@@ -151,6 +185,11 @@ class CacheHierarchy:
     ):
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
+        if num_cores > SHARERS_BITS:
+            raise ValueError(
+                f"num_cores must be <= {SHARERS_BITS}: the directory "
+                "presence mask is a fixed bit-field of the packed line word"
+            )
         self.num_cores = num_cores
         self.mapper = AddressMapper()
         l1_geometry = l1_geometry or CacheGeometry(64 * 1024, 4)
@@ -201,28 +240,30 @@ class CacheHierarchy:
 
         This is the simulator's hottest function (one call per memory
         op).  The hit paths are written as straight-line code: a single
-        dict probe per level, the LRU stamp written inline (see the
-        hot-path contract in :mod:`repro.cache.set_assoc`), and the
-        stats update unrolled — no helper calls until an actual miss or
+        dict probe per level, the LRU stamp written as a plain int into
+        the per-set dict (see the hot-path contract in
+        :mod:`repro.cache.set_assoc`), and the stats update unrolled —
+        no helper calls and no allocation until an actual miss or
         coherence action needs handling.
         """
         line_addr = addr >> self._line_bits
         # Opcode literals (0/1/2 = OP_READ/OP_WRITE/OP_IFETCH) avoid a
         # module-global load per comparison on this path.  The read
         # L1 hit — the single most executed basic block in the whole
-        # simulator — is specialised first with no further branching.
+        # simulator — is specialised first: a read needs nothing from
+        # the line word, so it is a pure membership probe plus the
+        # stamp store.
         if op == 0:  # OP_READ
             l1 = self.l1d[core]
-            line = l1._map.get(line_addr)
-            if line is not None:
+            if line_addr in l1._map:
                 latency = self.l1_latency
                 l1.hits += 1
                 stamp = l1._stamp + 1
                 l1._stamp = stamp
                 if l1._touch_stamps:
-                    line.stamp = stamp
+                    l1._sets[line_addr & l1._set_mask][line_addr] = stamp
                 else:
-                    l1.policy.on_touch(line, stamp)
+                    l1.policy.on_touch(CacheLineView(l1, line_addr), stamp)
                 stats = self.stats
                 stats.l1_hits += 1
                 stats.total_latency += latency
@@ -230,28 +271,37 @@ class CacheHierarchy:
                 return latency
         else:
             l1 = (self.l1i if op == 2 else self.l1d)[core]
-            line = l1._map.get(line_addr)
-            if line is not None:
+            l1map = l1._map
+            w = l1map.get(line_addr)
+            if w is not None:
                 latency = self.l1_latency
                 l1.hits += 1
                 stats = self.stats
                 stats.l1_hits += 1
                 if op == 1:  # OP_WRITE
-                    latency += self._write_hit(core, line_addr, line)
-                    # Inlined ``_mark_written``: ``line`` *is* the
-                    # resident L1 copy, so no re-probe is needed.
-                    self._write_counter += 1
-                    line.version = self._write_counter
-                    line.dirty = True
+                    state = (w >> STATE_SHIFT) & 0b11
+                    if state != 3:  # not MODIFIED yet
+                        latency += self._write_hit(core, line_addr, state)
+                        w = l1map[line_addr]  # upgrade rewrote state
+                    # else: repeat write to an M line — the upgrade
+                    # check and M-broadcast would be no-ops (an M L1
+                    # copy implies M on every private level), so the
+                    # dominant write-hit case skips both.
+                    # Inlined ``_mark_written``: the line is resident
+                    # in this L1, so stamp the fresh write version and
+                    # dirty bit straight into its word.
+                    wc = self._write_counter + 1
+                    self._write_counter = wc
+                    l1map[line_addr] = (w & VERSION_BELOW) | (wc << _VS) | DIRTY
                     stats.writes += 1
                 else:
                     stats.ifetches += 1
                 stamp = l1._stamp + 1
                 l1._stamp = stamp
                 if l1._touch_stamps:
-                    line.stamp = stamp
+                    l1._sets[line_addr & l1._set_mask][line_addr] = stamp
                 else:
-                    l1.policy.on_touch(line, stamp)
+                    l1.policy.on_touch(CacheLineView(l1, line_addr), stamp)
                 stats.total_latency += latency
                 stats.per_core_accesses[core] += 1
                 return latency
@@ -263,21 +313,27 @@ class CacheHierarchy:
         # ---- L2 ----
         l2 = self.l2[core]
         latency += self.l2_latency
-        l2line = l2._map.get(line_addr)
-        if l2line is not None:
+        l2map = l2._map
+        w = l2map.get(line_addr)
+        if w is not None:
             l2.hits += 1
             stats.l2_hits += 1
-            if op == OP_WRITE:
-                latency += self._write_hit(core, line_addr, l2line)
-            self._fill_l1(core, l1, line_addr, l2line.state, l2line.version, now)
-            if op == OP_WRITE:
+            if op == 1:  # OP_WRITE
+                latency += self._write_hit(
+                    core, line_addr, (w >> STATE_SHIFT) & 0b11
+                )
+                w = l2map[line_addr]  # state rewritten by the upgrade
+            self._fill_l1(
+                core, l1, line_addr, (w >> STATE_SHIFT) & 0b11, w >> _VS, now
+            )
+            if op == 1:
                 self._mark_written(core, op, line_addr)
             stamp = l2._stamp + 1
             l2._stamp = stamp
             if l2._touch_stamps:
-                l2line.stamp = stamp
+                l2._sets[line_addr & l2._set_mask][line_addr] = stamp
             else:
-                l2.policy.on_touch(l2line, stamp)
+                l2.policy.on_touch(CacheLineView(l2, line_addr), stamp)
             stats.total_latency += latency
             if op == 1:  # OP_WRITE
                 stats.writes += 1
@@ -294,38 +350,31 @@ class CacheHierarchy:
             ((line_addr >> self._llc_set_bits) * SLICE_MULT & U64_MASK)
             >> self._llc_slice_shift
         ]
-        llc_line = sl._map.get(line_addr)
-        if llc_line is not None:
+        if line_addr in sl._map:
             stats.llc_hits += 1
-            latency += self._serve_llc_hit(core, op, llc_line, now, sl)
-            self._record(stats, core, op, latency)
+            latency += self._serve_llc_hit(core, op, line_addr, now, sl)
+            if op == 1:
+                stats.writes += 1
+            elif op == 2:
+                stats.ifetches += 1
+            stats.total_latency += latency
+            stats.per_core_accesses[core] += 1
             return latency
         stats.llc_misses += 1
 
         # ---- Memory ----
-        mem_latency, llc_line = self._fetch_into_llc(
-            line_addr, now + latency, demand=True
-        )
-        latency += mem_latency
-        state = MODIFIED if op == OP_WRITE else EXCLUSIVE
-        self._fill_private(core, op, line_addr, state, llc_line, now)
-        if op == OP_WRITE:
+        latency += self._fetch_into_llc(line_addr, now + latency, True, sl)
+        state = MODIFIED if op == 1 else EXCLUSIVE
+        self._fill_private(core, op, line_addr, state, sl, now)
+        if op == 1:
             self._mark_written(core, op, line_addr)
-        self._record(stats, core, op, latency)
-        return latency
-
-    @staticmethod
-    def _record(stats: AccessStats, core: int, op: int, latency: int) -> None:
-        """Per-access stats update for the non-L1-hit paths (the L1-hit
-        path inlines this; off the fast path one call is fine).
-        ``accesses``/``reads`` are derived, so only writes and
-        ifetches are classified here."""
-        stats.total_latency += latency
-        if op == OP_WRITE:
             stats.writes += 1
-        elif op == OP_IFETCH:
+        elif op == 2:
             stats.ifetches += 1
+        # Inlined ``_record`` — one call per full miss adds up.
+        stats.total_latency += latency
         stats.per_core_accesses[core] += 1
+        return latency
 
     def access_many(
         self,
@@ -340,8 +389,10 @@ class CacheHierarchy:
         chains are hoisted out of the loop and the dominant case — an
         L1 read hit — is handled entirely inline.  Trace replay and
         synthetic warmups are built on this; the cycle-interleaved
-        multicore scheduler still uses :meth:`access` because it must
-        interleave cores between operations.
+        multicore scheduler still consumes one record per core per
+        step (through the chunked batch prefetch in
+        :class:`repro.cpu.core.Core`) because it must interleave cores
+        between operations.
 
         Returns the per-request latencies.
         """
@@ -357,8 +408,7 @@ class CacheHierarchy:
             if op == 0:  # OP_READ
                 l1 = l1d[core]
                 line_addr = addr >> line_bits
-                line = l1._map.get(line_addr)
-                if line is not None:
+                if line_addr in l1._map:
                     # Inline L1 read hit (the overwhelmingly common
                     # case): identical effect to ``access``.
                     l1.hits += 1
@@ -366,9 +416,9 @@ class CacheHierarchy:
                     stamp = l1._stamp + 1
                     l1._stamp = stamp
                     if l1._touch_stamps:
-                        line.stamp = stamp
+                        l1._sets[line_addr & l1._set_mask][line_addr] = stamp
                     else:
-                        l1.policy.on_touch(line, stamp)
+                        l1.policy.on_touch(CacheLineView(l1, line_addr), stamp)
                     stats.total_latency += l1_latency
                     per_core[core] += 1
                     append(l1_latency)
@@ -380,130 +430,166 @@ class CacheHierarchy:
     # Write handling
     # ------------------------------------------------------------------
 
-    def _write_hit(self, core: int, line_addr: int, line: CacheLine) -> int:
-        """Handle a write hitting a private line; return extra latency.
+    def _write_hit(self, core: int, line_addr: int, state: int) -> int:
+        """Handle a write hitting a private line in ``state``; return
+        extra latency.
 
-        Callers must invoke :meth:`_mark_written` once the L1 copy is
-        resident (on the L2-hit path the L1 fill happens afterwards).
+        Callers must invoke :meth:`_mark_written` (or its inline form)
+        once the L1 copy is resident (on the L2-hit path the L1 fill
+        happens afterwards).
         """
         extra = 0
-        if line.state == SHARED:
+        if state == SHARED:
             # S→M upgrade: a directory round trip invalidates the other
             # sharers.
             extra = self.llc_latency
             self.stats.upgrades += 1
-            llc_line = self.llc.slice_for(line_addr)._map.get(line_addr)
-            if llc_line is None:
+            sl = self._llc_slices[
+                ((line_addr >> self._llc_set_bits) * SLICE_MULT & U64_MASK)
+                >> self._llc_slice_shift
+            ]
+            lmap = sl._map
+            if line_addr not in lmap:
                 raise CoherenceViolation(
                     f"inclusion broken: private line {line_addr:#x} "
                     "absent from LLC during upgrade"
                 )
-            self._invalidate_other_sharers(core, llc_line)
-            if llc_line.pingpong:
-                llc_line.accessed = True
+            self._invalidate_other_sharers(core, line_addr, sl)
+            lw = lmap[line_addr]
+            if lw & PINGPONG:
+                lmap[line_addr] = lw | ACCESSED
         # E→M is silent.
         self._set_core_state(core, line_addr, MODIFIED)
         return extra
 
     def _mark_written(self, core: int, op: int, line_addr: int) -> None:
         """Stamp the core's L1 copy with a fresh write version."""
-        self._write_counter += 1
-        l1 = (self.l1i if op == OP_IFETCH else self.l1d)[core]
-        line = l1._map.get(line_addr)
-        if line is not None:
-            line.version = self._write_counter
-            line.dirty = True
+        wc = self._write_counter + 1
+        self._write_counter = wc
+        m = (self.l1i if op == OP_IFETCH else self.l1d)[core]._map
+        w = m.get(line_addr)
+        if w is not None:
+            m[line_addr] = (w & VERSION_BELOW) | (wc << _VS) | DIRTY
 
     # ------------------------------------------------------------------
     # LLC hit service (coherence actions)
     # ------------------------------------------------------------------
 
     def _serve_llc_hit(
-        self, core: int, op: int, llc_line: CacheLine, now: int,
-        sl=None,
+        self, core: int, op: int, line_addr: int, now: int,
+        sl: SetAssociativeCache,
     ) -> int:
-        line_addr = llc_line.addr
+        lmap = sl._map
         penalty = 0
-        others = llc_line.sharers & ~(1 << core)
+        lw = lmap[line_addr]
+        others = ((lw >> _SS) & _SMASK) & ~(1 << core)
         if others:
             # Flush/demote any M/E copy held elsewhere.
-            for other in _decode_bits(others):
-                if self._flush_core_line(other, line_addr, llc_line):
+            for other in decode_sharers(others):
+                if self._flush_core_line(other, line_addr, sl):
                     penalty += self.dirty_forward_penalty
                     self.stats.dirty_forwards += 1
-        if op == OP_WRITE:
-            if others:
-                self._invalidate_other_sharers(core, llc_line)
-            state = MODIFIED
+            if op == OP_WRITE:
+                self._invalidate_other_sharers(core, line_addr, sl)
+                state = MODIFIED
+            else:
+                state = SHARED
+            lw = lmap[line_addr]  # flush/invalidate rewrote the word
         else:
-            state = SHARED if others else EXCLUSIVE
-        if llc_line.pingpong:
-            llc_line.accessed = True
-        self._fill_private(core, op, line_addr, state, llc_line, now)
+            state = MODIFIED if op == OP_WRITE else EXCLUSIVE
+        if lw & PINGPONG:
+            lmap[line_addr] = lw | ACCESSED
+        self._fill_private(core, op, line_addr, state, sl, now)
         if op == OP_WRITE:
             self._mark_written(core, op, line_addr)
-        # The caller already resolved the owning slice; reuse it so the
-        # recency update does not re-hash the address.
-        if sl is None:
-            sl = self._llc_slices[self._llc_slice_of(line_addr)]
-        sl.touch(llc_line)
+        # Recency update (inlined ``touch`` on the owning slice).
+        stamp = sl._stamp + 1
+        sl._stamp = stamp
+        if sl._touch_stamps:
+            sl._sets[line_addr & sl._set_mask][line_addr] = stamp
+        else:
+            sl.policy.on_touch(CacheLineView(sl, line_addr), stamp)
         return penalty
 
     def _flush_core_line(
-        self, core: int, line_addr: int, llc_line: CacheLine
+        self, core: int, line_addr: int, sl: SetAssociativeCache
     ) -> bool:
         """Demote ``core``'s copies to SHARED, merging dirty data into
-        the LLC line.  Returns True when dirty data was forwarded.
+        the LLC word.  Returns True when dirty data was forwarded.
 
         The forwarded data also refreshes the core's *own* outer copies
         (a dirty L1 line implies a stale L2 copy; hardware writes the
         snooped data through, otherwise a later L1 eviction would
         resurrect stale L2 data).
         """
-        copies = []
-        newest = llc_line.version
+        lmap = sl._map
+        lw = lmap[line_addr]
+        newest = lw >> _VS
         forwarded = False
+        holding = []
         for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
-            line = cache._map.get(line_addr)
-            if line is None:
+            m = cache._map
+            w = m.get(line_addr)
+            if w is None:
                 continue
-            copies.append(line)
-            if line.dirty:
-                if line.version > newest:
-                    newest = line.version
-                llc_line.dirty = True
-                line.dirty = False
+            holding.append(m)
+            if w & DIRTY:
+                v = w >> _VS
+                if v > newest:
+                    newest = v
+                lw |= DIRTY
                 forwarded = True
-        llc_line.version = newest
-        for line in copies:
-            line.version = newest
-            line.state = SHARED
+        lmap[line_addr] = (lw & VERSION_BELOW) | (newest << _VS)
+        shared_bits = SHARED << STATE_SHIFT
+        for m in holding:
+            m[line_addr] = (
+                (m[line_addr] & _KEEP_ON_FLUSH) | shared_bits | (newest << _VS)
+            )
         return forwarded
 
-    def _invalidate_other_sharers(self, core: int, llc_line: CacheLine) -> None:
-        """Remove every other core's private copies of the line."""
-        line_addr = llc_line.addr
-        for other in _decode_bits(llc_line.sharers & ~(1 << core)):
-            self._remove_core_copies(other, line_addr, llc_line)
-        llc_line.sharers &= 1 << core
-
-    def _remove_core_copies(
-        self, core: int, line_addr: int, merge_into: CacheLine | None
+    def _invalidate_other_sharers(
+        self, core: int, line_addr: int, sl: SetAssociativeCache
     ) -> None:
-        """Drop a line from all private levels of ``core``; dirty data
-        merges into ``merge_into`` when given."""
+        """Remove every other core's private copies of the line."""
+        lmap = sl._map
+        lw = lmap[line_addr]
+        sharers = (lw >> _SS) & _SMASK
+        version = lw >> _VS
+        dirty = lw & DIRTY
+        for other in decode_sharers(sharers & ~(1 << core)):
+            d, v = self._scrub_core_copies(other, line_addr)
+            if d:
+                dirty = DIRTY
+                if v > version:
+                    version = v
+        lmap[line_addr] = (
+            (lw & (VERSION_BELOW & ~_SHARERS_FIELD & ~DIRTY))
+            | dirty
+            | ((sharers & (1 << core)) << _SS)
+            | (version << _VS)
+        )
+
+    def _scrub_core_copies(self, core: int, line_addr: int) -> tuple[int, int]:
+        """Drop a line from all private levels of ``core``; return
+        ``(dirty, max_dirty_version)`` for the caller to merge."""
+        dirty = 0
+        version = -1
         for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
-            line = cache.remove(line_addr)
-            if line is not None and line.dirty and merge_into is not None:
-                if line.version > merge_into.version:
-                    merge_into.version = line.version
-                merge_into.dirty = True
+            w = cache._remove_word(line_addr)
+            if w is not None and w & DIRTY:
+                v = w >> _VS
+                if v > version:
+                    version = v
+                dirty = DIRTY
+        return dirty, version
 
     def _set_core_state(self, core: int, line_addr: int, state: int) -> None:
+        bits = state << STATE_SHIFT
         for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
-            line = cache._map.get(line_addr)
-            if line is not None:
-                line.state = state
+            m = cache._map
+            w = m.get(line_addr)
+            if w is not None:
+                m[line_addr] = (w & ~STATE_MASK) | bits
 
     # ------------------------------------------------------------------
     # Fills
@@ -511,123 +597,229 @@ class CacheHierarchy:
 
     def _fill_private(
         self, core: int, op: int, line_addr: int, state: int,
-        llc_line: CacheLine, now: int,
+        sl: SetAssociativeCache, now: int,
     ) -> None:
         # Every caller sits past an L1 *and* L2 miss for this core
-        # with no intervening fill, so both levels insert directly —
-        # the probes would always come back empty (and ``insert``'s
+        # with no intervening fill, so both levels fill directly —
+        # the probes would always come back empty (and ``_fill``'s
         # duplicate guard would catch a violated assumption loudly).
+        smap = sl._map
+        llc_word = smap[line_addr]
+        base = ((llc_word >> _VS) << _VS) | (state << STATE_SHIFT)
         l2 = self.l2[core]
-        l2line, victim = l2.insert(line_addr, version=llc_line.version)
-        if victim is not None:
-            self._handle_l2_eviction(core, victim, now)
-        l2line.state = state
+        # Both fills below inline the ``_fill`` fast path (stamp-on-
+        # insert, min-stamp victim) — this method runs once per miss
+        # that reaches the LLC or memory.
+        if l2._insert_stamps and l2._victim_is_min_stamp:
+            cache_set = l2._sets[line_addr & l2._set_mask]
+            if line_addr in cache_set:
+                raise ValueError(
+                    f"{l2.name}: duplicate insert of line {line_addr:#x}"
+                )
+            vaddr = None
+            if len(cache_set) >= l2.ways:
+                vaddr = min(cache_set, key=cache_set.__getitem__)
+                del cache_set[vaddr]
+                vword = l2._map.pop(vaddr)
+                l2.evictions += 1
+            stamp = l2._stamp + 1
+            l2._stamp = stamp
+            cache_set[line_addr] = stamp
+            l2._map[line_addr] = base
+        else:
+            vaddr, vword, _ = l2._fill(line_addr, base)
+        if vaddr is not None:
+            # Inlined ``_handle_l2_eviction`` (the L2 set is full at
+            # steady state, so this runs on nearly every miss): purge
+            # L1 copies, write back to the LLC, release the directory
+            # presence bit.
+            self.stats.l2_evictions += 1
+            dirty = vword & DIRTY
+            version = vword >> _VS
+            for l1c in (self.l1d[core], self.l1i[core]):
+                w = l1c._map.pop(vaddr, None)
+                if w is not None:
+                    del l1c._sets[vaddr & l1c._set_mask][vaddr]
+                    if w & DIRTY:
+                        v = w >> _VS
+                        if v > version:
+                            version = v
+                        dirty = DIRTY
+            lmap = self._llc_slices[
+                ((vaddr >> self._llc_set_bits) * SLICE_MULT & U64_MASK)
+                >> self._llc_slice_shift
+            ]._map
+            lw = lmap.get(vaddr)
+            if lw is None:
+                raise CoherenceViolation(
+                    f"inclusion broken: L2 victim {vaddr:#x} absent from LLC"
+                )
+            if dirty:
+                if version > (lw >> _VS):
+                    lw = (lw & VERSION_BELOW) | (version << _VS)
+                lw |= DIRTY
+            lmap[vaddr] = lw & ~(1 << (core + _SS))
         l1 = (self.l1i if op == OP_IFETCH else self.l1d)[core]
-        # Inlined :meth:`_fill_l1` (this runs on every miss that
-        # reaches the LLC or memory; the L2-hit path still uses the
-        # method form).
-        l1line, victim = l1.insert(line_addr, version=l2line.version)
-        if victim is not None and victim.dirty:
+        if l1._insert_stamps and l1._victim_is_min_stamp:
+            cache_set = l1._sets[line_addr & l1._set_mask]
+            if line_addr in cache_set:
+                raise ValueError(
+                    f"{l1.name}: duplicate insert of line {line_addr:#x}"
+                )
+            vaddr = None
+            if len(cache_set) >= l1.ways:
+                vaddr = min(cache_set, key=cache_set.__getitem__)
+                del cache_set[vaddr]
+                vword = l1._map.pop(vaddr)
+                l1.evictions += 1
+            stamp = l1._stamp + 1
+            l1._stamp = stamp
+            cache_set[line_addr] = stamp
+            l1._map[line_addr] = base
+        else:
+            vaddr, vword, _ = l1._fill(line_addr, base)
+        if vaddr is not None and vword & DIRTY:
             # Writeback into the L2 copy (present by inclusion).
-            vline = l2._map.get(victim.addr)
-            if vline is not None:
-                if victim.version > vline.version:
-                    vline.version = victim.version
-                vline.dirty = True
-        l1line.state = state
-        llc_line.sharers |= 1 << core
+            l2map = l2._map
+            w = l2map.get(vaddr)
+            if w is not None:
+                v = vword >> _VS
+                if v > (w >> _VS):
+                    w = (w & VERSION_BELOW) | (v << _VS)
+                l2map[vaddr] = w | DIRTY
+        # ``llc_word`` is still current: the eviction handling above
+        # only rewrites *other* addresses' words.
+        smap[line_addr] = llc_word | (1 << (core + _SS))
 
     def _fill_l1(
         self, core: int, l1: SetAssociativeCache, line_addr: int,
         state: int, version: int, now: int,
     ) -> None:
         # Callers sit past an L1 miss with no intervening fill of this
-        # address, so insert directly (the duplicate guard backs the
+        # address, so fill directly (the duplicate guard backs the
         # assumption).
-        l1line, victim = l1.insert(line_addr, version=version)
-        if victim is not None and victim.dirty:
+        vaddr, vword, _ = l1._fill(
+            line_addr, (version << _VS) | (state << STATE_SHIFT)
+        )
+        if vaddr is not None and vword & DIRTY:
             # Writeback into the L2 copy (present by inclusion).
-            l2line = self.l2[core]._map.get(victim.addr)
-            if l2line is not None:
-                if victim.version > l2line.version:
-                    l2line.version = victim.version
-                l2line.dirty = True
-        l1line.state = state
-
-    def _handle_l2_eviction(self, core: int, victim: CacheLine, now: int) -> None:
-        """An L2 inclusion victim: purge L1 copies, write back to LLC,
-        release the directory presence bit."""
-        self.stats.l2_evictions += 1
-        line_addr = victim.addr
-        l1line = self.l1d[core].remove(line_addr)
-        if l1line is not None and l1line.dirty:
-            if l1line.version > victim.version:
-                victim.version = l1line.version
-            victim.dirty = True
-        l1line = self.l1i[core].remove(line_addr)
-        if l1line is not None and l1line.dirty:
-            if l1line.version > victim.version:
-                victim.version = l1line.version
-            victim.dirty = True
-        llc_line = self._llc_slices[self._llc_slice_of(line_addr)]._map.get(line_addr)
-        if llc_line is None:
-            raise CoherenceViolation(
-                f"inclusion broken: L2 victim {line_addr:#x} absent from LLC"
-            )
-        if victim.dirty:
-            if victim.version > llc_line.version:
-                llc_line.version = victim.version
-            llc_line.dirty = True
-        llc_line.sharers &= ~(1 << core)
+            l2map = self.l2[core]._map
+            w = l2map.get(vaddr)
+            if w is not None:
+                v = vword >> _VS
+                if v > (w >> _VS):
+                    w = (w & VERSION_BELOW) | (v << _VS)
+                l2map[vaddr] = w | DIRTY
 
     # ------------------------------------------------------------------
     # Memory path and LLC evictions
     # ------------------------------------------------------------------
 
     def _fetch_into_llc(
-        self, line_addr: int, now: int, demand: bool
-    ) -> tuple[int, CacheLine]:
+        self, line_addr: int, now: int, demand: bool,
+        sl: SetAssociativeCache,
+    ) -> int:
+        """Fetch a line from memory into ``sl`` (its owning LLC slice,
+        resolved by the caller); return the memory latency."""
         captured = False
         if demand and self.monitor is not None:
-            captured = bool(self.monitor.on_access(line_addr, now))
-        latency = self.mc.fetch(
-            line_addr << self._line_bits, now, prefetch=not demand
-        )
+            captured = self.monitor.on_access(line_addr, now)
+        # Inlined ``MemoryController.fetch`` for the flat-latency DRAM
+        # mode (bit-identical accounting; the row-buffer model keeps
+        # the method call).
+        mc = self.mc
+        dram = mc.dram
+        if not dram.open_page:
+            free_at = mc._channel_free_at
+            start = now if now > free_at else free_at
+            mc._channel_free_at = start + mc.burst_cycles
+            mc.total_queue_wait += start - now
+            if demand:
+                mc.demand_fetches += 1
+            else:
+                mc.prefetch_fetches += 1
+            latency = start - now + dram.latency
+        else:
+            latency = mc.fetch(
+                line_addr << self._line_bits, now, prefetch=not demand
+            )
         version = self._memory_versions.get(line_addr, 0)
-        sl = self._llc_slices[
-            ((line_addr >> self._llc_set_bits) * SLICE_MULT & U64_MASK)
-            >> self._llc_slice_shift
-        ]
-        llc_line, victim = sl.insert(line_addr, version=version)
-        if victim is not None:
-            self._handle_llc_eviction(victim, now)
         if demand:
-            if captured:
-                llc_line.pingpong = True
-                llc_line.accessed = True  # a demand access by definition
+            # A captured demand fill is tagged and, by definition,
+            # accessed; uncaptured demand fills carry no flags.
+            base = (version << _VS) | (PINGPONG | ACCESSED if captured else 0)
         else:
             # Prefetch fill: stays tagged, access bit cleared (the
             # no-endless-prefetch rule, Section IV).
-            llc_line.pingpong = True
-            llc_line.accessed = False
-        return latency, llc_line
+            base = (version << _VS) | PINGPONG
+        # Inlined ``_fill`` fast path for stamp-on-insert policies
+        # (LRU: min-stamp victim; lru_rand & friends: the policy's
+        # array-native ``victim_addr``); identical bookkeeping, no
+        # per-fill method dispatch on the miss path.
+        if sl._insert_stamps and (
+            sl._victim_is_min_stamp or sl._victim_addr is not None
+        ):
+            cache_set = sl._sets[line_addr & sl._set_mask]
+            if line_addr in cache_set:
+                raise ValueError(
+                    f"{sl.name}: duplicate insert of line {line_addr:#x}"
+                )
+            vaddr = None
+            if len(cache_set) >= sl.ways:
+                if sl._victim_is_min_stamp:
+                    vaddr = min(cache_set, key=cache_set.__getitem__)
+                else:
+                    vaddr = sl._victim_addr(cache_set)
+                vstamp = cache_set.pop(vaddr)
+                vword = sl._map.pop(vaddr)
+                sl.evictions += 1
+            stamp = sl._stamp + 1
+            sl._stamp = stamp
+            cache_set[line_addr] = stamp
+            sl._map[line_addr] = base
+        else:
+            vaddr, vword, vstamp = sl._fill(line_addr, base)
+        if vaddr is not None:
+            self._handle_llc_eviction(vaddr, vword, vstamp, now)
+        return latency
 
-    def _handle_llc_eviction(self, victim: CacheLine, now: int) -> None:
+    def _handle_llc_eviction(
+        self, vaddr: int, vword: int, vstamp: int, now: int
+    ) -> None:
         self.stats.llc_evictions += 1
         # The monitor hook fires first, while the victim's directory
         # state is intact: PiPoMonitor reads the pingpong/accessed
         # bits, stateless baselines (BITP) read the sharers mask to
         # detect back-invalidations.  The hook only schedules events.
-        if self.monitor is not None:
-            self.monitor.on_llc_eviction(victim, now)
-        if victim.sharers:
-            for core in victim.sharer_list():
-                self._remove_core_copies(core, victim.addr, victim)
+        # Monitors that ignore untagged lines declare
+        # ``needs_all_evictions = False`` so the (dominant) untagged
+        # case skips the detached-line materialisation entirely.
+        monitor = self.monitor
+        if monitor is not None and (
+            vword & PINGPONG or getattr(monitor, "needs_all_evictions", True)
+        ):
+            victim = CacheLine.from_packed(vaddr, vword, vstamp)
+            monitor.on_llc_eviction(victim, now)
+            vword = victim.to_word()
+        sharers = (vword >> _SS) & _SMASK
+        if sharers:
+            dirty = vword & DIRTY
+            version = vword >> _VS
+            for core in decode_sharers(sharers):
+                d, v = self._scrub_core_copies(core, vaddr)
                 self.stats.back_invalidations += 1
-            victim.sharers = 0
-        if victim.dirty:
-            self.mc.writeback(self.mapper.byte_address(victim.addr), now)
-            self._memory_versions[victim.addr] = victim.version
+                if d:
+                    dirty = DIRTY
+                    if v > version:
+                        version = v
+            vword = (
+                (vword & (VERSION_BELOW & ~_SHARERS_FIELD & ~DIRTY))
+                | dirty
+                | (version << _VS)
+            )
+        if vword & DIRTY:
+            self.mc.writeback(vaddr << self._line_bits, now)
+            self._memory_versions[vaddr] = vword >> _VS
             self.stats.writebacks_to_memory += 1
 
     def prefetch_fill(self, line_addr: int, now: int, tag: bool = True) -> bool:
@@ -639,11 +831,17 @@ class CacheHierarchy:
         issued (False when the line is already resident, e.g.
         re-fetched by a demand miss before the delayed prefetch fired).
         """
-        if self.llc.lookup(line_addr) is not None:
+        sl = self._llc_slices[
+            ((line_addr >> self._llc_set_bits) * SLICE_MULT & U64_MASK)
+            >> self._llc_slice_shift
+        ]
+        if line_addr in sl._map:
             self.stats.prefetch_skipped += 1
             return False
-        _, llc_line = self._fetch_into_llc(line_addr, now, demand=False)
-        llc_line.pingpong = tag
+        self._fetch_into_llc(line_addr, now, False, sl)
+        lmap = sl._map
+        w = lmap[line_addr]
+        lmap[line_addr] = (w | PINGPONG) if tag else (w & ~PINGPONG)
         self.stats.prefetch_fills += 1
         return True
 
@@ -656,19 +854,19 @@ class CacheHierarchy:
         perturbing any state.  Test helper mirroring the serve path."""
         line_addr = addr >> self.mapper.line_bits
         for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
-            line = cache.lookup(line_addr)
-            if line is not None:
-                return line.version
+            w = cache._map.get(line_addr)
+            if w is not None:
+                return w >> _VS
         # Another core may hold a newer dirty copy.
         best = -1
         for other in range(self.num_cores):
             for cache in (self.l1d[other], self.l1i[other], self.l2[other]):
-                line = cache.lookup(line_addr)
-                if line is not None and line.dirty and line.version > best:
-                    best = line.version
-        llc_line = self.llc.lookup(line_addr)
-        if llc_line is not None and llc_line.version > best:
-            best = llc_line.version
+                w = cache._map.get(line_addr)
+                if w is not None and w & DIRTY and (w >> _VS) > best:
+                    best = w >> _VS
+        lw = self._llc_slices[self._llc_slice_of(line_addr)]._map.get(line_addr)
+        if lw is not None and (lw >> _VS) > best:
+            best = lw >> _VS
         if best >= 0:
             return best
         return self._memory_versions.get(line_addr, 0)
@@ -679,9 +877,10 @@ class CacheHierarchy:
         for core in range(self.num_cores):
             state = None
             for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
-                line = cache.lookup(line_addr)
-                if line is not None:
-                    state = line.state if state is None else max(state, line.state)
+                w = cache._map.get(line_addr)
+                if w is not None:
+                    s = (w >> STATE_SHIFT) & 0b11
+                    state = s if state is None else max(state, s)
             if state is not None:
                 holders[core] = state
         return holders
@@ -694,12 +893,12 @@ class CacheHierarchy:
         """
         private_addrs: set[int] = set()
         for core in range(self.num_cores):
-            l2_lines = {line.addr for line in self.l2[core].lines()}
+            l2_lines = set(self.l2[core]._map)
             for l1 in (self.l1d[core], self.l1i[core]):
-                for line in l1.lines():
-                    if line.addr not in l2_lines:
+                for addr in l1._map:
+                    if addr not in l2_lines:
                         raise CoherenceViolation(
-                            f"L1 line {line.addr:#x} of core {core} "
+                            f"L1 line {addr:#x} of core {core} "
                             "missing from its L2 (inclusion)"
                         )
             private_addrs.update(l2_lines)
@@ -718,17 +917,3 @@ class CacheHierarchy:
                     f"directory mismatch for {llc_line.addr:#x}: "
                     f"sharers={llc_line.sharer_list()} actual={sorted(holders)}"
                 )
-
-
-def _decode_bits(mask: int) -> list[int]:
-    """Bit positions set in ``mask`` (ascending).
-
-    Iterates set bits only via isolate-lowest-bit + ``bit_length``,
-    so the cost scales with the popcount, not the highest core id.
-    """
-    out = []
-    while mask:
-        low = mask & -mask
-        out.append(low.bit_length() - 1)
-        mask ^= low
-    return out

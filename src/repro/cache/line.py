@@ -1,29 +1,154 @@
-"""Cache line metadata.
+"""Packed cache-line metadata.
 
-A single class serves every level.  Private-cache lines use ``state``
-(MESI) and ``dirty``; LLC lines additionally use ``sharers`` (directory
-presence bitmask) and the two PiPoMonitor bits:
+Resident lines are **packed integers**, not objects: every per-line
+field except the replacement stamp lives in bit-fields of one int (the
+*line word*), keyed by full line address in the owning array's flat
+``_map`` dict.  The replacement stamp lives in the per-set dicts
+(``SetAssociativeCache._sets``), where the victim scan reads it from a
+small, CPU-cache-hot table — so the two hottest mutations in the
+simulator (an LRU touch, a fill) are dict stores of plain ints and
+**allocate no objects**.
 
-``pingpong``  — the Ping-Pong protection tag PiPoMonitor sets when a
-                captured line is retrieved from memory ("the cache line
-                will be tagged as Ping-Pong in LLC", Section IV).
-``accessed``  — whether the tagged line has been touched since its last
-                fill; prefetch fills clear it, demand hits set it.  The
-                eviction→prefetch rule only fires for tagged-*and*-
-                accessed lines, preventing endless prefetching.
+Line-word layout (low bit first)::
 
-``version`` is a monotonically increasing write stamp used by the test
-suite to validate coherence (a read must observe the newest write); it
-models data without storing data.
+    bit 0       dirty
+    bit 1       pingpong   — the Ping-Pong protection tag PiPoMonitor
+                sets when a captured line is retrieved from memory
+                ("the cache line will be tagged as Ping-Pong in LLC",
+                Section IV)
+    bit 2       accessed   — touched since its last fill; prefetch
+                fills clear it, demand hits set it (the no-endless-
+                prefetch rule fires only for tagged-*and*-accessed)
+    bits 3-4    MESI state (I/S/E/M = 0..3; private lines)
+    bits 5-20   sharers    — LLC directory presence bitmask, one bit
+                per core (hence the 16-core hierarchy limit)
+    bits 21+    version    — monotonically increasing write stamp used
+                by the test suite to validate coherence; open-ended
+                top field, so the tag (the dict key) and every other
+                field keep their exact widths at any version
+
+The tag itself is the dict key (full line address, implicit and
+exact), so no field in the word bounds the address width.
+
+:class:`CacheLine` remains as the **compatibility object** — tests,
+attacks, and monitor hooks that introspect or build standalone lines
+keep the attribute API; :class:`CacheLineView` is the live proxy
+``lookup``/``lines`` return, reading and writing the packed word in
+place.
 """
 
 from __future__ import annotations
 
 from repro.cache.coherence import state_name
 
+#: Flag bits.
+DIRTY = 1
+PINGPONG = 2
+ACCESSED = 4
 
-class CacheLine:
-    """Mutable per-line metadata (one instance per resident line)."""
+#: MESI state field.
+STATE_SHIFT = 3
+STATE_MASK = 0b11 << STATE_SHIFT
+
+#: Directory presence bitmask (one bit per core).
+SHARERS_SHIFT = 5
+SHARERS_BITS = 16
+SHARERS_MASK = ((1 << SHARERS_BITS) - 1) << SHARERS_SHIFT
+
+#: Write-version stamp (open-ended top field).
+VERSION_SHIFT = SHARERS_SHIFT + SHARERS_BITS
+#: Everything below the version field — ``word & VERSION_BELOW``
+#: preserves flags/state/sharers while replacing the version.
+VERSION_BELOW = (1 << VERSION_SHIFT) - 1
+
+
+def pack_line(
+    state: int = 0,
+    version: int = 0,
+    dirty: bool = False,
+    pingpong: bool = False,
+    accessed: bool = False,
+    sharers: int = 0,
+) -> int:
+    """Assemble a line word from its fields."""
+    if not 0 <= state <= 3:
+        raise ValueError(f"MESI state out of range: {state}")
+    if not 0 <= sharers < (1 << SHARERS_BITS):
+        raise ValueError(f"sharers mask out of range: {sharers:#x}")
+    if version < 0:
+        raise ValueError("version must be non-negative")
+    return (
+        (DIRTY if dirty else 0)
+        | (PINGPONG if pingpong else 0)
+        | (ACCESSED if accessed else 0)
+        | (state << STATE_SHIFT)
+        | (sharers << SHARERS_SHIFT)
+        | (version << VERSION_SHIFT)
+    )
+
+
+def unpack_line(word: int) -> dict:
+    """Explode a line word into a field dict (tests, debugging)."""
+    return {
+        "dirty": bool(word & DIRTY),
+        "pingpong": bool(word & PINGPONG),
+        "accessed": bool(word & ACCESSED),
+        "state": (word >> STATE_SHIFT) & 0b11,
+        "sharers": (word >> SHARERS_SHIFT) & ((1 << SHARERS_BITS) - 1),
+        "version": word >> VERSION_SHIFT,
+    }
+
+
+def decode_sharers(mask: int) -> list[int]:
+    """Bit positions set in a sharers mask (ascending core ids).
+
+    Iterates set bits only (isolate-lowest-bit + ``bit_length``) rather
+    than shifting through every position — the mask is consulted on
+    every LLC eviction and coherence action.
+    """
+    cores = []
+    while mask:
+        low = mask & -mask
+        cores.append(low.bit_length() - 1)
+        mask ^= low
+    return cores
+
+
+class _LineFields:
+    """Shared attribute surface of :class:`CacheLine` and
+    :class:`CacheLineView` (repr and derived helpers only — storage is
+    defined by the concrete classes)."""
+
+    __slots__ = ()
+
+    def sharer_list(self) -> list[int]:
+        """Decode the sharers bitmask into a sorted list of core ids."""
+        return decode_sharers(self.sharers)
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.dirty:
+            flags.append("dirty")
+        if self.pingpong:
+            flags.append("pingpong")
+        if self.accessed:
+            flags.append("accessed")
+        return (
+            f"{type(self).__name__}(addr={self.addr:#x}, "
+            f"state={state_name(self.state)}, "
+            f"sharers={self.sharer_list()}, {' '.join(flags) or 'clean'})"
+        )
+
+
+class CacheLine(_LineFields):
+    """Standalone line object (compatibility / detached form).
+
+    Resident lines are packed words; a ``CacheLine`` materialises one
+    as a plain object — for policy unit tests that build synthetic
+    lines, and for *detached* lines (eviction victims handed to
+    monitor hooks, ``remove()`` returns) whose word has already left
+    the arrays.
+    """
 
     __slots__ = (
         "addr",
@@ -46,30 +171,122 @@ class CacheLine:
         self.accessed = False
         self.version = version
 
-    def sharer_list(self) -> list[int]:
-        """Decode the sharers bitmask into a sorted list of core ids.
+    @classmethod
+    def from_packed(cls, addr: int, word: int, stamp: int = 0) -> "CacheLine":
+        """Materialise a detached line from its packed word + stamp."""
+        line = cls.__new__(cls)
+        line.addr = addr
+        line.state = (word >> STATE_SHIFT) & 0b11
+        line.dirty = bool(word & DIRTY)
+        line.stamp = stamp
+        line.sharers = (word >> SHARERS_SHIFT) & ((1 << SHARERS_BITS) - 1)
+        line.pingpong = bool(word & PINGPONG)
+        line.accessed = bool(word & ACCESSED)
+        line.version = word >> VERSION_SHIFT
+        return line
 
-        Iterates set bits only (isolate-lowest-bit + ``bit_length``)
-        rather than shifting through every position — the mask is
-        consulted on every LLC eviction and coherence action.
-        """
-        cores = []
-        mask = self.sharers
-        while mask:
-            low = mask & -mask
-            cores.append(low.bit_length() - 1)
-            mask ^= low
-        return cores
-
-    def __repr__(self) -> str:
-        flags = []
-        if self.dirty:
-            flags.append("dirty")
-        if self.pingpong:
-            flags.append("pingpong")
-        if self.accessed:
-            flags.append("accessed")
-        return (
-            f"CacheLine(addr={self.addr:#x}, state={state_name(self.state)}, "
-            f"sharers={self.sharer_list()}, {' '.join(flags) or 'clean'})"
+    def to_word(self) -> int:
+        """Re-pack the object's fields into a line word."""
+        return pack_line(
+            state=self.state,
+            version=self.version,
+            dirty=self.dirty,
+            pingpong=self.pingpong,
+            accessed=self.accessed,
+            sharers=self.sharers,
         )
+
+
+class CacheLineView(_LineFields):
+    """Live proxy over one *resident* packed line.
+
+    Reads and writes go straight to the owning array's flat word dict
+    (and, for ``stamp``, its per-set stamp dict), so a mutation through
+    the view is indistinguishable from the hierarchy's own in-place
+    word updates.  Views are created only on introspection paths
+    (``lookup``/``lines``/``set_lines``, policy callbacks of
+    non-stamping policies) — the hot paths mutate words directly.
+    """
+
+    __slots__ = ("_cache", "addr")
+
+    def __init__(self, cache, addr: int):
+        self._cache = cache
+        self.addr = addr
+
+    # -- packed-word plumbing ------------------------------------------
+
+    @property
+    def word(self) -> int:
+        return self._cache._map[self.addr]
+
+    def _update(self, clear: int, set_bits: int) -> None:
+        m = self._cache._map
+        m[self.addr] = (m[self.addr] & ~clear) | set_bits
+
+    # -- fields --------------------------------------------------------
+
+    @property
+    def state(self) -> int:
+        return (self._cache._map[self.addr] >> STATE_SHIFT) & 0b11
+
+    @state.setter
+    def state(self, value: int) -> None:
+        self._update(STATE_MASK, value << STATE_SHIFT)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._cache._map[self.addr] & DIRTY)
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._update(DIRTY, DIRTY if value else 0)
+
+    @property
+    def pingpong(self) -> bool:
+        return bool(self._cache._map[self.addr] & PINGPONG)
+
+    @pingpong.setter
+    def pingpong(self, value: bool) -> None:
+        self._update(PINGPONG, PINGPONG if value else 0)
+
+    @property
+    def accessed(self) -> bool:
+        return bool(self._cache._map[self.addr] & ACCESSED)
+
+    @accessed.setter
+    def accessed(self, value: bool) -> None:
+        self._update(ACCESSED, ACCESSED if value else 0)
+
+    @property
+    def sharers(self) -> int:
+        return (self._cache._map[self.addr] >> SHARERS_SHIFT) & (
+            (1 << SHARERS_BITS) - 1
+        )
+
+    @sharers.setter
+    def sharers(self, value: int) -> None:
+        self._update(SHARERS_MASK, value << SHARERS_SHIFT)
+
+    @property
+    def version(self) -> int:
+        return self._cache._map[self.addr] >> VERSION_SHIFT
+
+    @version.setter
+    def version(self, value: int) -> None:
+        m = self._cache._map
+        m[self.addr] = (m[self.addr] & VERSION_BELOW) | (value << VERSION_SHIFT)
+
+    @property
+    def stamp(self) -> int:
+        cache = self._cache
+        return cache._sets[self.addr & cache._set_mask][self.addr]
+
+    @stamp.setter
+    def stamp(self, value: int) -> None:
+        cache = self._cache
+        cache._sets[self.addr & cache._set_mask][self.addr] = value
+
+    def detach(self) -> CacheLine:
+        """Snapshot the current fields into a standalone line."""
+        return CacheLine.from_packed(self.addr, self.word, self.stamp)

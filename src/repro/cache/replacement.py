@@ -46,6 +46,13 @@ class ReplacementPolicy:
     #: ``min(lines, key=stamp)`` (LRU, FIFO) set this so the cache
     #: runs the C-level ``min`` without a dispatch per eviction.
     victim_is_min_stamp = False
+    #: Array-native victim selection: ``victim_addr(cache_set)`` picks
+    #: straight from a set's ``{line_addr: stamp}`` dict (iteration
+    #: order = fill order, matching the line order ``victim`` sees).
+    #: The built-in policies all provide it; a policy that leaves it
+    #: None falls back to ``victim`` over materialised line views —
+    #: correct, but with per-eviction allocation.
+    victim_addr = None
 
     def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
         raise NotImplementedError
@@ -68,6 +75,9 @@ class LruPolicy(ReplacementPolicy):
     def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
         return min(lines, key=_line_stamp)
 
+    def victim_addr(self, cache_set: dict) -> int:
+        return min(cache_set, key=cache_set.__getitem__)
+
     def on_touch(self, line: CacheLine, stamp: int) -> None:
         line.stamp = stamp
 
@@ -85,6 +95,9 @@ class FifoPolicy(ReplacementPolicy):
     def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
         return min(lines, key=_line_stamp)
 
+    def victim_addr(self, cache_set: dict) -> int:
+        return min(cache_set, key=cache_set.__getitem__)
+
     def on_insert(self, line: CacheLine, stamp: int) -> None:
         line.stamp = stamp
 
@@ -99,6 +112,10 @@ class RandomPolicy(ReplacementPolicy):
 
     def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
         candidates = list(lines)
+        return candidates[self._rng.randrange(len(candidates))]
+
+    def victim_addr(self, cache_set: dict) -> int:
+        candidates = list(cache_set)
         return candidates[self._rng.randrange(len(candidates))]
 
 
@@ -129,6 +146,15 @@ class TreePlruPolicy(ReplacementPolicy):
         pool = [
             line for line in candidates
             if line.stamp // self.quantum == oldest
+        ]
+        return pool[self._rng.randrange(len(pool))]
+
+    def victim_addr(self, cache_set: dict) -> int:
+        quantum = self.quantum
+        oldest = min(stamp // quantum for stamp in cache_set.values())
+        pool = [
+            addr for addr, stamp in cache_set.items()
+            if stamp // quantum == oldest
         ]
         return pool[self._rng.randrange(len(pool))]
 
@@ -163,6 +189,12 @@ class LruRandomPolicy(ReplacementPolicy):
     def victim(self, lines: Iterable[CacheLine]) -> CacheLine:
         candidates = sorted(lines, key=_line_stamp)
         pool = candidates[: self.pool_size]
+        return pool[self._rng.randrange(len(pool))]
+
+    def victim_addr(self, cache_set: dict) -> int:
+        # Stable sort over the same iteration order as ``victim`` sees,
+        # so ties (and therefore the RNG draw) resolve identically.
+        pool = sorted(cache_set, key=cache_set.__getitem__)[: self.pool_size]
         return pool[self._rng.randrange(len(pool))]
 
     def on_touch(self, line: CacheLine, stamp: int) -> None:

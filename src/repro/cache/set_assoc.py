@@ -1,4 +1,4 @@
-"""Generic set-associative cache array.
+"""Generic set-associative cache array over packed line words.
 
 Pure bookkeeping: lookup/insert/remove plus replacement.  Coherence,
 inclusion, and writeback *policy* live in the hierarchy; this class
@@ -11,8 +11,8 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass
 
-from repro.cache.line import CacheLine
-from repro.cache.replacement import ReplacementPolicy, _line_stamp, make_policy
+from repro.cache.line import VERSION_SHIFT, CacheLine, CacheLineView
+from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.utils.bitops import is_power_of_two, log2_exact
 
 
@@ -55,18 +55,23 @@ class SetAssociativeCache:
     Lines are keyed by full line address within each set, so tags are
     implicit and exact.
 
-    Hot-path contract: resident lines are indexed twice — per-set
-    dicts (``_sets``, the ground truth victim-selection structure) and
-    one flat ``_map`` over the whole array, so the hit path is a
-    *single* dict probe with no set-index arithmetic.  The hierarchy
-    inlines that probe plus, for stamp-based policies
-    (``policy.touch_stamps``), a direct ``line.stamp`` write with the
-    next ``_stamp`` value — so ``_map``, ``_sets``, ``_set_mask``,
-    ``_stamp``, and ``_touch_stamps`` are a stable internal interface.
-    The :class:`ReplacementPolicy` object stays authoritative for
-    victim selection and for the ``on_touch`` of non-stamping
-    policies.  Both indices are mutated only by :meth:`insert` and
-    :meth:`remove`, which keeps them consistent by construction.
+    Hot-path contract: a resident line is **two plain ints** — its
+    packed word (flags/state/sharers/version; see
+    :mod:`repro.cache.line`) in the flat ``_map``, and its replacement
+    stamp in the owning per-set dict of ``_sets``.  The hit path is a
+    single ``_map`` membership probe; an LRU touch is one int store
+    into the (small, CPU-cache-hot) set dict; a fill builds one word
+    int — **no objects are allocated on hits, touches, fills, or
+    evictions**.  The hierarchy mutates words in place through
+    ``_map`` and stamps through ``_sets`` (so ``_map``, ``_sets``,
+    ``_set_mask``, ``_stamp``, and ``_touch_stamps`` are a stable
+    internal interface), and fills through :meth:`_fill` / removes
+    through :meth:`_remove_word`.  The
+    :class:`ReplacementPolicy` object stays authoritative for victim
+    selection of non-min-stamp policies and for the ``on_touch`` /
+    ``on_insert`` of non-stamping policies, receiving
+    :class:`CacheLineView` proxies.  Both indices are mutated only by
+    the fill/remove pair, which keeps them consistent by construction.
     """
 
     __slots__ = (
@@ -79,6 +84,7 @@ class SetAssociativeCache:
         "_map",
         "policy",
         "_victim",
+        "_victim_addr",
         "_victim_is_min_stamp",
         "_touch_stamps",
         "_insert_stamps",
@@ -100,14 +106,19 @@ class SetAssociativeCache:
         self.num_sets = geometry.num_sets
         self.ways = geometry.ways
         self._set_mask = self.num_sets - 1
-        self._sets: list[dict[int, CacheLine]] = [
-            {} for _ in range(self.num_sets)
-        ]
-        self._map: dict[int, CacheLine] = {}
+        #: Per-set dicts: line address -> replacement stamp.  Ground
+        #: truth for victim selection (the scan stays inside one small,
+        #: CPU-cache-hot dict); key order mirrors fill order, which
+        #: non-deterministic policies (random, PLRU ties) rely on for
+        #: reproducibility.
+        self._sets: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
+        #: Flat index: line address -> packed line word.
+        self._map: dict[int, int] = {}
         if isinstance(policy, str):
             policy = make_policy(policy, seed=seed)
         self.policy = policy
         self._victim = policy.victim
+        self._victim_addr = policy.victim_addr
         self._victim_is_min_stamp = policy.victim_is_min_stamp
         self._touch_stamps = policy.touch_stamps
         self._insert_stamps = policy.insert_stamps
@@ -122,21 +133,26 @@ class SetAssociativeCache:
         """Set selected by the low line-address bits."""
         return line_addr & self._set_mask
 
-    def lookup(self, line_addr: int) -> CacheLine | None:
-        """Return the resident line or None.  Does not update recency
-        (callers decide whether an operation counts as a use)."""
-        return self._map.get(line_addr)
+    def lookup(self, line_addr: int) -> CacheLineView | None:
+        """Return a live view of the resident line or None.  Does not
+        update recency (callers decide whether an operation counts as a
+        use).  The view is a fresh proxy per call — compare by
+        ``addr``/fields, not identity."""
+        if line_addr in self._map:
+            return CacheLineView(self, line_addr)
+        return None
 
     def probe(self, line_addr: int) -> bool:
         """Presence check with hit/miss accounting."""
-        if self.lookup(line_addr) is not None:
+        if line_addr in self._map:
             self.hits += 1
             return True
         self.misses += 1
         return False
 
-    def touch(self, line: CacheLine) -> None:
-        """Record a use of ``line`` for the replacement policy."""
+    def touch(self, line) -> None:
+        """Record a use of ``line`` (a view or standalone line) for the
+        replacement policy."""
         stamp = self._stamp + 1
         self._stamp = stamp
         if self._touch_stamps:
@@ -144,13 +160,20 @@ class SetAssociativeCache:
         else:
             self.policy.on_touch(line, stamp)
 
-    def insert(self, line_addr: int, version: int = 0) -> tuple[CacheLine, CacheLine | None]:
-        """Fill ``line_addr``; return ``(new_line, evicted_line_or_None)``.
+    # ------------------------------------------------------------------
+    # Packed fill/remove (the hierarchy's interface)
+    # ------------------------------------------------------------------
 
-        The victim is *removed* from the array before the new line is
+    def _fill(self, line_addr: int, word: int) -> tuple[int | None, int, int]:
+        """Insert packed ``word``; return the evicted
+        ``(victim_addr, victim_word, victim_stamp)`` (addr None when
+        the set had space).
+
+        The victim is removed from both indices before the new line is
         placed; the caller must handle its writeback/invalidation
         obligations.  Inserting an already-present address is an error
-        (callers must lookup first).
+        (callers must lookup first).  Allocates nothing but the word
+        ints themselves.
         """
         index = line_addr & self._set_mask
         cache_set = self._sets[index]
@@ -158,62 +181,86 @@ class SetAssociativeCache:
             raise ValueError(
                 f"{self.name}: duplicate insert of line {line_addr:#x}"
             )
-        victim = None
+        victim_addr = None
+        victim_word = 0
+        victim_stamp = 0
         if len(cache_set) >= self.ways:
             if self._victim_is_min_stamp:
-                victim = min(cache_set.values(), key=_line_stamp)
+                victim_addr = min(cache_set, key=cache_set.__getitem__)
+            elif self._victim_addr is not None:
+                victim_addr = self._victim_addr(cache_set)
             else:
-                victim = self._victim(cache_set.values())
-            del cache_set[victim.addr]
-            del self._map[victim.addr]
+                # Custom policy without the array-native protocol:
+                # materialise views (allocates; correctness fallback).
+                victim_addr = self._victim(
+                    [CacheLineView(self, addr) for addr in cache_set]
+                ).addr
+            victim_stamp = cache_set.pop(victim_addr)
+            victim_word = self._map.pop(victim_addr)
             self.evictions += 1
-        # Direct construction (``__new__`` + slot writes, mirroring
-        # CacheLine.__init__): fills run once per miss at every level,
-        # and the skipped init-frame is measurable there.
-        line = CacheLine.__new__(CacheLine)
-        line.addr = line_addr
-        line.state = 0
-        line.dirty = False
-        line.stamp = 0
-        line.sharers = 0
-        line.pingpong = False
-        line.accessed = False
-        line.version = version
         stamp = self._stamp + 1
         self._stamp = stamp
+        self._map[line_addr] = word
         if self._insert_stamps:
-            line.stamp = stamp
+            cache_set[line_addr] = stamp
         else:
-            self.policy.on_insert(line, stamp)
-        cache_set[line_addr] = line
-        self._map[line_addr] = line
-        return line, victim
+            cache_set[line_addr] = 0
+            self.policy.on_insert(CacheLineView(self, line_addr), stamp)
+        return victim_addr, victim_word, victim_stamp
 
-    def remove(self, line_addr: int) -> CacheLine | None:
-        """Remove and return a resident line (None when absent)."""
-        line = self._sets[line_addr & self._set_mask].pop(line_addr, None)
-        if line is not None:
-            del self._map[line_addr]
-        return line
+    def _remove_word(self, line_addr: int) -> int | None:
+        """Remove a resident line; return its packed word (None when
+        absent).  The stamp is discarded — eviction/invalidation paths
+        never read it."""
+        word = self._map.pop(line_addr, None)
+        if word is not None:
+            del self._sets[line_addr & self._set_mask][line_addr]
+        return word
 
     # ------------------------------------------------------------------
+    # Object-level compatibility API (tests, attacks, examples)
+    # ------------------------------------------------------------------
 
-    def lines(self) -> Iterator[CacheLine]:
-        """Iterate over every resident line."""
+    def insert(
+        self, line_addr: int, version: int = 0
+    ) -> tuple[CacheLineView, CacheLine | None]:
+        """Fill ``line_addr``; return ``(new_line_view, evicted_line)``
+        (victim None when the set had space, detached otherwise)."""
+        victim_addr, victim_word, victim_stamp = self._fill(
+            line_addr, version << VERSION_SHIFT
+        )
+        victim = (
+            CacheLine.from_packed(victim_addr, victim_word, victim_stamp)
+            if victim_addr is not None
+            else None
+        )
+        return CacheLineView(self, line_addr), victim
+
+    def remove(self, line_addr: int) -> CacheLine | None:
+        """Remove and return a detached line (None when absent)."""
+        word = self._map.pop(line_addr, None)
+        if word is None:
+            return None
+        stamp = self._sets[line_addr & self._set_mask].pop(line_addr)
+        return CacheLine.from_packed(line_addr, word, stamp)
+
+    def lines(self) -> Iterator[CacheLineView]:
+        """Iterate live views over every resident line."""
         for cache_set in self._sets:
-            yield from cache_set.values()
+            for addr in cache_set:
+                yield CacheLineView(self, addr)
 
-    def set_lines(self, index: int) -> list[CacheLine]:
-        """Resident lines of one set (snapshot list)."""
-        return list(self._sets[index].values())
+    def set_lines(self, index: int) -> list[CacheLineView]:
+        """Live views of one set's resident lines (snapshot list)."""
+        return [CacheLineView(self, addr) for addr in self._sets[index]]
 
     @property
     def resident(self) -> int:
         """Number of resident lines, O(1).
 
-        ``len`` of the flat index replaces the former walk over every
-        set — and, unlike a hand-maintained counter, cannot drift from
-        the ground-truth structures.
+        ``len`` of the flat index replaces a walk over every set — and,
+        unlike a hand-maintained counter, cannot drift from the
+        ground-truth structures.
         """
         return len(self._map)
 

@@ -60,6 +60,10 @@ class MonitorStats:
 class PiPoMonitor:
     """The stateful Ping-Pong detector + prefetch obfuscator."""
 
+    #: Only tagged (Ping-Pong) victims matter to this monitor; the
+    #: hierarchy skips materialising untagged eviction victims.
+    needs_all_evictions = False
+
     def __init__(
         self,
         fltr: AutoCuckooFilter,

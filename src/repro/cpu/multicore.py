@@ -9,6 +9,7 @@ evaluation depends on.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from dataclasses import dataclass, field
 
@@ -92,20 +93,31 @@ class MulticoreSystem:
             if max_instructions_per_core is not None
             else float("inf")
         )
-        while heap:
-            key = heap[0]
-            core = cores[key & 255]
-            # Fire every event due at or before this operation.
-            if event_heap:
-                run_until(key >> 8)
-            if core.step(budget):
-                heapreplace(heap, core.time << 8 | key & 255)
-            else:
-                heappop(heap)
-                completion[key & 255] = core.time
-        # Late events (e.g. prefetches scheduled near the end).
-        while (next_time := self.events.next_time()) is not None:
-            self.events.run_until(next_time)
+        # The loop allocates only acyclic objects (record tuples,
+        # ints) that reference counting frees immediately, so the
+        # cyclic collector's periodic gen-0 sweeps are pure overhead
+        # here — pause it for the duration of the run.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            while heap:
+                key = heap[0]
+                cid = key & 255
+                core = cores[cid]
+                # Fire every event due at or before this operation.
+                if event_heap:
+                    run_until(key >> 8)
+                if core.step(budget):
+                    heapreplace(heap, core.time << 8 | cid)
+                else:
+                    heappop(heap)
+                    completion[cid] = core.time
+            # Late events (e.g. prefetches scheduled near the end).
+            while (next_time := self.events.next_time()) is not None:
+                self.events.run_until(next_time)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         monitor = self.hierarchy.monitor
         return SimulationResult(
             core_times=[completion[c.core_id] for c in self.cores],

@@ -4,9 +4,19 @@
 experiments (Fig. 8, secThr sensitivity) are built on: it constructs the
 Table II hierarchy, optionally deploys PiPoMonitor, binds one workload
 per core, and runs to an instruction budget.
+
+Cores whose workload declares ``batchable`` (synthetic/SPEC streams,
+packable traces — anything that ignores latency feedback) are bound
+through the chunked batch prefetch (:class:`repro.cpu.core.Core`'s
+``batches`` mode) instead of a per-record generator.  The record
+streams are identical either way, so results are bit-identical —
+``REPRO_BATCH=0`` (or ``batch=False``) forces the generator path,
+which the golden-equivalence tests compare against.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.core.config import SystemConfig
 from repro.core.pipomonitor import PiPoMonitor
@@ -17,11 +27,20 @@ from repro.utils.rng import derive_seed
 from repro.workloads.base import Workload
 
 
+def batch_enabled(batch: bool | None = None) -> bool:
+    """Resolve the batch-prefetch flag: explicit argument beats the
+    ``REPRO_BATCH`` environment toggle (default on)."""
+    if batch is not None:
+        return batch
+    return os.environ.get("REPRO_BATCH", "") != "0"
+
+
 def build_system(
     config: SystemConfig,
     workloads: list[Workload],
     seed: int = 0,
     track_captured_lines: bool = False,
+    batch: bool | None = None,
 ) -> tuple[MulticoreSystem, PiPoMonitor | None]:
     """Construct the system a config describes.
 
@@ -46,14 +65,27 @@ def build_system(
             track_captured_lines=track_captured_lines,
         )
         monitor.attach(hierarchy)
-    cores = [
-        Core(
-            core_id,
-            workload.generator(core_id, derive_seed(seed, "workload", core_id)),
-            hierarchy,
-        )
-        for core_id, workload in enumerate(workloads)
-    ]
+    use_batches = batch_enabled(batch)
+    cores = []
+    for core_id, workload in enumerate(workloads):
+        workload_seed = derive_seed(seed, "workload", core_id)
+        if use_batches and workload.batchable:
+            cores.append(
+                Core(
+                    core_id,
+                    None,
+                    hierarchy,
+                    batches=workload.record_chunks(core_id, workload_seed),
+                )
+            )
+        else:
+            cores.append(
+                Core(
+                    core_id,
+                    workload.generator(core_id, workload_seed),
+                    hierarchy,
+                )
+            )
     return MulticoreSystem(hierarchy, cores, events), monitor
 
 
@@ -62,9 +94,10 @@ def run_workloads(
     workloads: list[Workload],
     instructions_per_core: int,
     seed: int = 0,
+    batch: bool | None = None,
 ) -> SimulationResult:
     """Build and run in one call; returns the simulation result."""
-    system, monitor = build_system(config, workloads, seed=seed)
+    system, monitor = build_system(config, workloads, seed=seed, batch=batch)
     result = system.run(max_instructions_per_core=instructions_per_core)
     if monitor is not None:
         result.extra["filter_occupancy"] = monitor.filter.occupancy()

@@ -4,12 +4,14 @@ Examples::
 
     repro-experiment fig3
     repro-experiment fig8 --full --seed 7
+    repro-experiment fig8 --jobs 8
     repro-experiment all
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -53,11 +55,26 @@ def main(argv: list[str] | None = None) -> int:
         "--full", action="store_true",
         help="paper-scale run (Table II geometry, long budgets)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for experiments with independent cells "
+             "(0 = one per CPU).  Precedence: this flag beats the "
+             "REPRO_JOBS environment variable; unset falls back to it.",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 0:
+        parser.error("--jobs must be >= 0")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
-        result = EXPERIMENTS[name].run(seed=args.seed, full=args.full or None)
+        module = EXPERIMENTS[name]
+        kwargs = {"seed": args.seed, "full": args.full or None}
+        # Only the grid experiments fan out; the rest (filter sweeps,
+        # attack timelines) are single simulations without a ``jobs``
+        # parameter.
+        if args.jobs is not None and "jobs" in inspect.signature(module.run).parameters:
+            kwargs["jobs"] = args.jobs
+        result = module.run(**kwargs)
         print(result.to_text())
         print(f"[{name} completed in {time.time() - started:.1f}s]\n")
     return 0

@@ -13,6 +13,12 @@ are unchanged; EXPERIMENTS.md quantifies this.
 
 ``REPRO_FULL=1`` (or ``run(full=True)``) switches to the paper's exact
 Table II geometry; ``REPRO_INSNS`` overrides the instruction budget.
+
+The scaled default budget is 2 M instructions/core (10× the original
+200 k): the array-native engine (packed line words, batched workload
+emission — see PERFORMANCE.md) plus ``REPRO_JOBS`` fan-out brought a
+fig8 cell at this budget back into benchmark-suite time, an order of
+magnitude closer to the paper's 1 B/core evaluation regime.
 """
 
 from __future__ import annotations
@@ -30,8 +36,8 @@ from repro.workloads.mixes import TABLE_III_MIXES
 from repro.workloads.spec import BENCHMARK_PROFILES, SpecWorkload
 
 PERFORMANCE_SCALE_FACTOR = 8
-DEFAULT_SCALED_INSTRUCTIONS = 200_000
-DEFAULT_FULL_INSTRUCTIONS = 2_000_000
+DEFAULT_SCALED_INSTRUCTIONS = 2_000_000
+DEFAULT_FULL_INSTRUCTIONS = 20_000_000
 
 
 def is_full_scale(full: bool | None = None) -> bool:

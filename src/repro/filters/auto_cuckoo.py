@@ -138,12 +138,41 @@ class AutoCuckooFilter:
         # inlined alt-index mix (the hasher's alt salt folded into the
         # golden-gamma increment once, instead of per relocation).
         self._alt_mix_add = ((self.hasher._alt_salt + 1) * _GOLDEN_GAMMA) & _U64
+        # The same folding for the fingerprint and primary-index mixes
+        # (used by the inlined Query below).
+        self._fp_add = ((self.hasher._fp_salt + 1) * _GOLDEN_GAMMA) & _U64
+        self._index_add = ((self.hasher._index_salt + 1) * _GOLDEN_GAMMA) & _U64
         self._index_mask = num_buckets - 1
+        # The alternate-bucket mix depends only on the (f-bit)
+        # fingerprint, so for realistic widths it collapses into one
+        # table lookup: ``i2 = i1 ^ _alt_xor[fp]``.  This removes a
+        # full splitmix64 chain per Query *and* per relocation — the
+        # kick walk at saturation is the monitor's hottest loop.
+        # (Bit-identical to PartialKeyHasher.alt_index: with a
+        # power-of-two bucket count, masking the xor-term first is
+        # equivalent to masking the combined index.)
+        if fingerprint_bits <= 16:
+            alt_add = self._alt_mix_add
+            index_mask = self._index_mask
+            table = []
+            for fp in range(1 << fingerprint_bits):
+                z = (fp + alt_add) & _U64
+                z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+                z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+                table.append((z ^ (z >> 31)) & index_mask)
+            self._alt_xor: list[int] | None = table
+        else:
+            self._alt_xor = None
         self.geometry = FilterGeometry(
             num_buckets, entries_per_bucket, fingerprint_bits
         )
         self.num_buckets = num_buckets
         self.entries_per_bucket = entries_per_bucket
+        self._slot_mask = (
+            entries_per_bucket - 1
+            if entries_per_bucket & (entries_per_bucket - 1) == 0
+            else None
+        )
         self.max_kicks = max_kicks
         self.security_threshold = security_threshold
         # Victim selection uses an inline 64-bit LCG: the filter sits on
@@ -181,7 +210,24 @@ class AutoCuckooFilter:
         line satisfies the Ping-Pong pattern.
         """
         self.total_accesses += 1
-        fp, i1, i2 = self._candidate_buckets(key)
+        table = self._alt_xor
+        if table is None:
+            fp, i1, i2 = self._candidate_buckets(key)
+        else:
+            # Inlined PartialKeyHasher.candidate_buckets (bit-identical
+            # arithmetic): two splitmix64 chains plus the table lookup.
+            fp_mask = self.hasher._fp_mask
+            z = (key + self._fp_add) & _U64
+            z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+            z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+            fp = (z ^ (z >> 31)) & fp_mask
+            if not fp:
+                fp = fp_mask
+            z = (key + self._index_add) & _U64
+            z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+            z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+            i1 = (z ^ (z >> 31)) & self._index_mask
+            i2 = i1 ^ table[fp]
         # --- Query: is a valid entry of ξ_x present in µ_x or σ_x? ---
         # ``in`` guards keep every scan a C-level pass with no
         # exception machinery: the miss path (which dominates — every
@@ -212,6 +258,75 @@ class AutoCuckooFilter:
             if entry is not None:
                 entry.add(key)
         return sec
+
+    def access_many(self, keys) -> int:
+        """Record an ``Access`` for every key in ``keys``; return how
+        many Responses reached ``security_threshold`` (captures).
+
+        Semantically identical to calling :meth:`access` per key —
+        same table state, same counters, same kick walks (the
+        equivalence tests pin this) — with the per-call overhead
+        amortised: the Query arithmetic is inlined once and every
+        attribute is bound outside the loop.  Fig. 3/Fig. 4-style
+        insertion sweeps and the attack pre-fill loops run through
+        this entry point.
+        """
+        table = self._alt_xor
+        if table is None:
+            # Wide-fingerprint fallback: per-key access calls.
+            threshold = self.security_threshold
+            access = self.access
+            return sum(1 for key in keys if access(key) >= threshold)
+        fps = self._fps
+        security = self._security
+        addresses = self._addresses
+        fp_mask = self.hasher._fp_mask
+        index_mask = self._index_mask
+        fp_add = self._fp_add
+        index_add = self._index_add
+        threshold = self.security_threshold
+        insert_new = self._insert_new
+        mult1 = _MIX_MULT_1
+        mult2 = _MIX_MULT_2
+        u64 = _U64
+        count = 0
+        captures = 0
+        for key in keys:
+            count += 1
+            # Inlined candidate_buckets (bit-identical to ``access``).
+            z = (key + fp_add) & u64
+            z = ((z ^ (z >> 30)) * mult1) & u64
+            z = ((z ^ (z >> 27)) * mult2) & u64
+            fp = (z ^ (z >> 31)) & fp_mask
+            if not fp:
+                fp = fp_mask
+            z = (key + index_add) & u64
+            z = ((z ^ (z >> 30)) * mult1) & u64
+            z = ((z ^ (z >> 27)) * mult2) & u64
+            i1 = (z ^ (z >> 31)) & index_mask
+            row = fps[i1]
+            if fp in row:
+                index = i1
+            else:
+                index = i1 ^ table[fp]
+                row = fps[index]
+                if fp not in row:
+                    insert_new(key, fp, i1, index)
+                    continue
+            slot = row.index(fp)
+            sec_row = security[index]
+            sec = sec_row[slot]
+            if sec < threshold:
+                sec += 1
+                sec_row[slot] = sec
+            if addresses is not None:
+                entry = addresses[index][slot]
+                if entry is not None:
+                    entry.add(key)
+            if sec >= threshold:
+                captures += 1
+        self.total_accesses += count
+        return captures
 
     def contains(self, key: int) -> bool:
         """Probabilistic membership (subject to fingerprint collisions)."""
@@ -268,16 +383,25 @@ class AutoCuckooFilter:
         relocations = 0
         max_kicks = self.max_kicks
         entries_per_bucket = self.entries_per_bucket
-        # alt_index inlined (same arithmetic as PartialKeyHasher): at
-        # saturation every insert runs the full MNK-kick chain, so the
-        # per-kick call is worth eliminating.
+        slot_mask = self._slot_mask
+        # alt_index reduced to one table lookup (wide-fingerprint
+        # fallback: the inlined splitmix64 chain, same arithmetic as
+        # PartialKeyHasher): at saturation every insert runs the full
+        # MNK-kick chain, so per-kick work is worth eliminating.
+        alt_xor = self._alt_xor
         alt_add = self._alt_mix_add
         index_mask = self._index_mask
         mult1 = _MIX_MULT_1
         mult2 = _MIX_MULT_2
         while True:
             state = (state * 6364136223846793005 + 1442695040888963407) & _U64
-            slot = (state >> 33) % entries_per_bucket
+            # Power-of-two bucket widths (the Table II default) reduce
+            # the slot pick to a mask; the modulo stays for odd b.
+            slot = (
+                (state >> 33) & slot_mask
+                if slot_mask is not None
+                else (state >> 33) % entries_per_bucket
+            )
             row = fps[index]
             sec_row = security[index]
             carried_fp, row[slot] = row[slot], carried_fp
@@ -290,14 +414,17 @@ class AutoCuckooFilter:
                 # more relocation is evicted.  Occupied-slot count is
                 # unchanged (the new record took a slot, one was lost).
                 self.autonomic_deletions += 1
+                self.total_relocations += relocations
                 self._lcg = state
                 return
             relocations += 1
-            self.total_relocations += 1
-            z = (carried_fp + alt_add) & _U64
-            z = ((z ^ (z >> 30)) * mult1) & _U64
-            z = ((z ^ (z >> 27)) * mult2) & _U64
-            index = (index ^ z ^ (z >> 31)) & index_mask
+            if alt_xor is not None:
+                index ^= alt_xor[carried_fp]
+            else:
+                z = (carried_fp + alt_add) & _U64
+                z = ((z ^ (z >> 30)) * mult1) & _U64
+                z = ((z ^ (z >> 27)) * mult2) & _U64
+                index = (index ^ z ^ (z >> 31)) & index_mask
             row = fps[index]
             if 0 not in row:
                 continue
@@ -309,6 +436,7 @@ class AutoCuckooFilter:
                     carried_addrs if carried_addrs is not None else set()
                 )
             self.valid_count += 1
+            self.total_relocations += relocations
             self._lcg = state
             return
 

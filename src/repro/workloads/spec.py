@@ -145,9 +145,23 @@ class SpecWorkload(Workload):
         self.profile = profile
         self.name = profile.name
         self._inner = profile.build(conflict_stride_bytes)
+        # Delegate the batch-emission contract: the inner synthetic
+        # stream (which carries this wrapper's name and therefore the
+        # same RNG derivation) is the single source of records.
+        self.batchable = self._inner.batchable
 
     def generator(self, core_id: int, seed: int) -> WorkloadGenerator:
         return self._inner.generator(core_id, seed)
+
+    def record_chunks(self, core_id: int, seed: int, chunk: int | None = None):
+        if chunk is None:
+            return self._inner.record_chunks(core_id, seed)
+        return self._inner.record_chunks(core_id, seed, chunk)
+
+    def batch_stream(self, core_id: int, seed: int, chunk: int | None = None):
+        if chunk is None:
+            return self._inner.batch_stream(core_id, seed)
+        return self._inner.batch_stream(core_id, seed, chunk)
 
 
 def spec_workload(name: str) -> SpecWorkload:

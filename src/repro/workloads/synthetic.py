@@ -17,13 +17,27 @@ Five archetypes cover the SPEC benchmarks' memory behaviour:
 Every generator emits an occasional instruction fetch into the core's
 private code region so L1I participates, and dithers compute gaps so
 memory operations average the profile's ``mem_fraction``.
+
+Each archetype contributes only a *line picker*
+(:meth:`_SyntheticWorkload._line_picker`); the shared emission loop
+exists in two forms with identical record streams: the generator
+(:meth:`_emit`, one suspension per record, for feedback-driven
+consumers) and the chunked batch producer (:meth:`record_chunks`, one
+record-list chunk per suspension, for the scheduler prefetch and —
+packed through the base class's ``batch_stream``/``emit_batch`` — for
+bulk replay).  The equivalence tests pin the streams
+record-for-record.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator
+
 from repro.cache.hierarchy import OP_IFETCH, OP_READ, OP_WRITE
 from repro.utils.rng import derive_rng
 from repro.workloads.base import (
+    DEFAULT_BATCH_CHUNK,
+    REC_COMPUTE_MAX,
     Workload,
     WorkloadGenerator,
     core_code_base,
@@ -97,8 +111,28 @@ class _SyntheticWorkload(Workload):
         # several times (word-granular strides, multi-field structs);
         # the repeats hit L1 and set the benchmark's realistic MPKI.
         self.accesses_per_line = accesses_per_line
+        # Synthetic streams ignore latency feedback, so batch emission
+        # is legal whenever the dithered compute gap fits the packed
+        # record (it always does for realistic mem_fractions).
+        self.batchable = int(1.0 / mem_fraction - 1.0) + 1 <= REC_COMPUTE_MAX
         if name is not None:
             self.name = name
+
+    # ------------------------------------------------------------------
+    # Pattern plug point
+    # ------------------------------------------------------------------
+
+    def _line_picker(self, core_id: int, seed: int) -> Callable:
+        """Build the pattern-specific ``next_data_line(rng)`` closure
+        (stateful; one per stream)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # The two emission forms (identical record streams)
+    # ------------------------------------------------------------------
+
+    def generator(self, core_id: int, seed: int) -> WorkloadGenerator:
+        return self._emit(core_id, seed, self._line_picker(core_id, seed))
 
     def _emit(self, core_id: int, seed: int, next_data_line) -> WorkloadGenerator:
         """Shared emission loop; ``next_data_line(rng)`` supplies the
@@ -158,13 +192,82 @@ class _SyntheticWorkload(Workload):
                 addr = data_base + line * LINE
             yield gap, op, addr
 
+    def record_chunks(
+        self, core_id: int, seed: int, chunk: int = DEFAULT_BATCH_CHUNK
+    ) -> Iterator[list]:
+        """Native chunked emission: the :meth:`_emit` loop body with the
+        per-record ``yield`` replaced by a list append.  Same RNG draws
+        in the same order, same records (the equivalence tests compare
+        the two streams), one generator suspension per *chunk* instead
+        of per record.
+        """
+        if not self.batchable:
+            raise ValueError(
+                f"{self.name}: compute gaps exceed the packed record field"
+            )
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        next_data_line = self._line_picker(core_id, seed)
+        rng = derive_rng(seed, self.name, core_id)
+        data_base = core_data_base(core_id)
+        code_base = core_code_base(core_id)
+        conflict_base = self.num_lines + self.conflict_stride
+        conflict_index = 0
+        code_line = 0
+        ifetch_limit = self.ifetch_fraction
+        conflict_limit = ifetch_limit + self.conflict_fraction
+        current_line = None
+        line_visits_left = 0
+        rng_random = rng.random
+        gap_target = 1.0 / self.mem_fraction - 1.0
+        gap_base = int(gap_target)
+        gap_frac = gap_target - gap_base
+        write_fraction = self.write_fraction
+        code_lines = self.code_lines
+        conflict_lines = self.conflict_lines
+        conflict_stride = self.conflict_stride
+        visits_per_line = self.accesses_per_line - 1
+        while True:
+            out = []
+            append = out.append
+            count = 0
+            while count < chunk:
+                gap = gap_base + 1 if rng_random() < gap_frac else gap_base
+                roll = rng_random()
+                if roll >= conflict_limit:
+                    if line_visits_left > 0 and current_line is not None:
+                        line_visits_left -= 1
+                        line = current_line
+                    else:
+                        line = next_data_line(rng)
+                        current_line = line
+                        line_visits_left = visits_per_line
+                    op = OP_WRITE if rng_random() < write_fraction else OP_READ
+                    addr = data_base + line * LINE
+                elif roll < ifetch_limit:
+                    code_line += 1
+                    if code_line == code_lines:
+                        code_line = 0
+                    op = OP_IFETCH
+                    addr = code_base + code_line * LINE
+                else:
+                    conflict_index += 1
+                    if conflict_index == conflict_lines:
+                        conflict_index = 0
+                    line = conflict_base + conflict_index * conflict_stride
+                    op = OP_WRITE if rng_random() < write_fraction else OP_READ
+                    addr = data_base + line * LINE
+                append((gap, op, addr))
+                count += 1
+            yield out
+
 
 class StreamWorkload(_SyntheticWorkload):
     """Repeated sequential sweeps over the working set."""
 
     name = "stream"
 
-    def generator(self, core_id: int, seed: int) -> WorkloadGenerator:
+    def _line_picker(self, core_id: int, seed: int) -> Callable:
         position = -1
         num_lines = self.num_lines
 
@@ -173,7 +276,7 @@ class StreamWorkload(_SyntheticWorkload):
             position = (position + 1) % num_lines
             return position
 
-        return self._emit(core_id, seed, next_line)
+        return next_line
 
 
 class RandomWorkload(_SyntheticWorkload):
@@ -181,13 +284,13 @@ class RandomWorkload(_SyntheticWorkload):
 
     name = "random"
 
-    def generator(self, core_id: int, seed: int) -> WorkloadGenerator:
+    def _line_picker(self, core_id: int, seed: int) -> Callable:
         num_lines = self.num_lines
 
         def next_line(rng):
             return rng.randrange(num_lines)
 
-        return self._emit(core_id, seed, next_line)
+        return next_line
 
 
 class PointerChaseWorkload(_SyntheticWorkload):
@@ -196,7 +299,7 @@ class PointerChaseWorkload(_SyntheticWorkload):
 
     name = "pointer"
 
-    def generator(self, core_id: int, seed: int) -> WorkloadGenerator:
+    def _line_picker(self, core_id: int, seed: int) -> Callable:
         rng = derive_rng(seed, "pointer-permutation", core_id)
         # A single Hamiltonian cycle over the working set (not a plain
         # shuffled permutation, whose cycle through the start line has
@@ -215,7 +318,7 @@ class PointerChaseWorkload(_SyntheticWorkload):
             position = chain[position]
             return position
 
-        return self._emit(core_id, seed, next_line)
+        return next_line
 
 
 class StencilWorkload(_SyntheticWorkload):
@@ -223,7 +326,7 @@ class StencilWorkload(_SyntheticWorkload):
 
     name = "stencil"
 
-    def generator(self, core_id: int, seed: int) -> WorkloadGenerator:
+    def _line_picker(self, core_id: int, seed: int) -> Callable:
         side = max(2, int(self.num_lines ** 0.5))
         offsets = ((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1))
         state = {"i": 0, "j": 0, "k": 0}
@@ -241,7 +344,7 @@ class StencilWorkload(_SyntheticWorkload):
             col = (state["j"] + dj) % side
             return row * side + col
 
-        return self._emit(core_id, seed, next_line)
+        return next_line
 
 
 class HotColdWorkload(_SyntheticWorkload):
@@ -266,7 +369,7 @@ class HotColdWorkload(_SyntheticWorkload):
         self.hot_lines = hot_bytes // LINE
         self.hot_probability = hot_probability
 
-    def generator(self, core_id: int, seed: int) -> WorkloadGenerator:
+    def _line_picker(self, core_id: int, seed: int) -> Callable:
         hot_lines = self.hot_lines
         num_lines = self.num_lines
         hot_probability = self.hot_probability
@@ -276,4 +379,4 @@ class HotColdWorkload(_SyntheticWorkload):
                 return rng.randrange(hot_lines)
             return rng.randrange(num_lines)
 
-        return self._emit(core_id, seed, next_line)
+        return next_line

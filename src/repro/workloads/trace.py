@@ -3,6 +3,15 @@
 Materialises a workload generator into a list of records (standalone,
 feeding back a constant latency), and round-trips traces through CSV so
 experiments can be inspected or replayed deterministically.
+
+Two replay forms:
+
+* :func:`scripted_from_trace` + a :class:`repro.cpu.core.Core` — the
+  cycle-accurate form (compute gaps advance time, latencies feed back).
+* :func:`replay_trace` — the order-insensitive form: the records go
+  straight through ``CacheHierarchy.access_many``, which is the right
+  tool for warming hierarchies and cache-state studies where only the
+  *sequence* of operations matters.
 """
 
 from __future__ import annotations
@@ -11,7 +20,7 @@ import csv
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.cache.hierarchy import OP_IFETCH, OP_READ, OP_WRITE
+from repro.cache.hierarchy import OP_IFETCH, OP_READ, OP_WRITE, CacheHierarchy
 from repro.workloads.base import ScriptedWorkload, Workload
 
 _OP_NAMES = {OP_READ: "R", OP_WRITE: "W", OP_IFETCH: "I", None: "-"}
@@ -45,6 +54,18 @@ def record_trace(
     """
     if max_ops < 1:
         raise ValueError("max_ops must be >= 1")
+    if workload.batchable:
+        # Feedback-free stream: capture through the chunked batch
+        # producer (identical records, no per-record suspension).
+        records = []
+        for chunk in workload.record_chunks(core_id, seed):
+            records.extend(
+                TraceRecord(compute, op, addr)
+                for compute, op, addr in chunk[:max_ops - len(records)]
+            )
+            if len(records) >= max_ops:
+                break
+        return records
     generator = workload.generator(core_id, seed)
     records: list[TraceRecord] = []
     try:
@@ -90,3 +111,21 @@ def read_trace_csv(path: str | Path) -> list[TraceRecord]:
 def scripted_from_trace(records: list[TraceRecord], name: str = "trace") -> ScriptedWorkload:
     """Wrap a materialised trace back into a replayable workload."""
     return ScriptedWorkload([r.as_tuple() for r in records], name=name)
+
+
+def replay_trace(
+    hierarchy: CacheHierarchy,
+    records: list[TraceRecord],
+    core_id: int = 0,
+) -> list[int]:
+    """Replay a trace's memory operations through the hierarchy's
+    batched entry point; returns the per-operation latencies.
+
+    Order-insensitive: compute gaps are skipped and every operation
+    runs at ``now=0``, which leaves the cache/filter state identical to
+    a per-op walk (``access_many``'s contract) — use the scripted-
+    workload path when the timeline itself matters.
+    """
+    return hierarchy.access_many(
+        [(core_id, r.op, r.address) for r in records if r.op is not None]
+    )

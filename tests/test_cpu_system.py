@@ -62,6 +62,8 @@ class TestCore:
             yield (0, None, 0)
 
         class Probe(ScriptedWorkload):
+            # Overriding ``generator`` (here: with a latency-consuming
+            # stream) disables batch prefetch automatically.
             def generator(self, core_id, seed):
                 return workload()
 

@@ -147,3 +147,24 @@ class TestCli:
     def test_cli_rejects_unknown(self):
         with pytest.raises(SystemExit):
             cli_main(["fig99"])
+
+    def test_cli_jobs_flag_beats_env(self, monkeypatch, capsys):
+        """Documented precedence: ``--jobs`` > ``REPRO_JOBS`` > serial."""
+        captured = {}
+
+        class Stub:
+            @staticmethod
+            def run(seed=0, full=None, jobs=None):
+                captured["jobs"] = jobs
+                return ExperimentResult("stub", "stub title")
+
+        monkeypatch.setitem(EXPERIMENTS, "fig8", Stub)
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert cli_main(["fig8", "--jobs", "2"]) == 0
+        assert captured["jobs"] == 2
+        # Without the flag the kwarg is not forced, so the parallel
+        # runner falls back to REPRO_JOBS.
+        assert cli_main(["fig8"]) == 0
+        assert captured["jobs"] is None
+        with pytest.raises(SystemExit):
+            cli_main(["fig8", "--jobs", "-1"])

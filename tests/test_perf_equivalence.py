@@ -116,6 +116,43 @@ class TestAccessManyEquivalence:
             )
 
 
+class TestBatchPrefetchEquivalence:
+    """The chunked per-core batch prefetch must be semantically
+    invisible: identical SimulationResult whether cores consume their
+    workload through the generator protocol or through record chunks,
+    with or without a monitor on the path."""
+
+    def _run(self, batch, monitor_enabled, seed=11):
+        config = scaled_system_config(False, monitor_enabled=monitor_enabled)
+        workloads = scaled_mix_workloads("mix1", False)
+        return run_workloads(config, workloads, 25_000, seed=seed, batch=batch)
+
+    def test_batched_matches_generator_baseline(self):
+        assert self._run(True, False) == self._run(False, False)
+
+    def test_batched_matches_generator_monitored(self):
+        batched = self._run(True, True)
+        serial = self._run(False, True)
+        assert batched == serial
+        assert batched.extra == serial.extra
+
+    def test_trace_replay_matches_per_op_walk(self):
+        from repro.cache.hierarchy import CacheHierarchy
+        from repro.workloads.trace import record_trace, replay_trace
+
+        workload = scaled_mix_workloads("mix3", False)[0]
+        records = record_trace(workload, core_id=0, seed=4, max_ops=4000)
+        batched_h = CacheHierarchy(num_cores=1, seed=2)
+        serial_h = CacheHierarchy(num_cores=1, seed=2)
+        latencies = replay_trace(batched_h, records, core_id=0)
+        expected = [
+            serial_h.access(0, r.op, r.address)
+            for r in records if r.op is not None
+        ]
+        assert latencies == expected
+        assert batched_h.stats == serial_h.stats
+
+
 def _cell(args):
     """Module-level (picklable) cell: one full simulation, returning
     the complete SimulationResult for equality comparison."""
