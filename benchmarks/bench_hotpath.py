@@ -49,12 +49,20 @@ def _lcg_stream(seed, count, modulus):
 
 def _bench_ops(benchmark, fn, setup, ops):
     """Run ``fn(state)`` once per round on a fresh ``setup()`` state
-    and record ops/sec in the benchmark record."""
+    and record ops/sec in the benchmark record.
+
+    Under ``--benchmark-disable`` (the CI smoke: one plain rep, no
+    timing machinery) there are no stats to record — the run is purely
+    a does-it-still-execute check.
+    """
     result = benchmark.pedantic(
         fn, setup=lambda: ((setup(),), {}), rounds=3, iterations=1,
     )
-    benchmark.extra_info["operations"] = ops
-    benchmark.extra_info["ops_per_sec"] = round(ops / benchmark.stats.stats.min)
+    if benchmark.stats is not None:
+        benchmark.extra_info["operations"] = ops
+        benchmark.extra_info["ops_per_sec"] = round(
+            ops / benchmark.stats.stats.min
+        )
     return result
 
 

@@ -8,6 +8,11 @@ timeline.
 Defense-aware filter adversaries (Section VI-B, Fig. 7): brute-force
 fills, targeted reverse-engineering fills, and the classic filter's
 false-deletion attack.
+
+Flush-based channels (beyond the paper — Gruss et al., TPPD):
+Flush+Reload and Flush+Flush attackers over the hierarchy's
+``clflush`` primitive, plus a cross-core covert channel with measured
+bandwidth and bit-error rate.
 """
 
 from repro.attacks.analysis import (
@@ -15,9 +20,24 @@ from repro.attacks.analysis import (
     infer_bits_from_observations,
     key_recovery,
 )
+from repro.attacks.covert_channel import (
+    CovertChannelResult,
+    CovertReceiver,
+    CovertSender,
+    random_bits,
+    run_covert_channel,
+    shared_line_address,
+)
 from repro.attacks.evictionset import (
     build_eviction_set,
     reduce_eviction_set,
+)
+from repro.attacks.flush_reload import (
+    FlushAttackResult,
+    FlushFlushAttacker,
+    FlushProbe,
+    FlushReloadAttacker,
+    run_flush_attack,
 )
 from repro.attacks.filter_attacks import (
     BruteForceResult,
@@ -40,6 +60,13 @@ from repro.attacks.victim import SquareMultiplyVictim, random_key
 __all__ = [
     "AttackResult",
     "BruteForceResult",
+    "CovertChannelResult",
+    "CovertReceiver",
+    "CovertSender",
+    "FlushAttackResult",
+    "FlushFlushAttacker",
+    "FlushProbe",
+    "FlushReloadAttacker",
     "KeyRecovery",
     "PrimeProbeAttacker",
     "ProbeObservation",
@@ -53,7 +80,11 @@ __all__ = [
     "fill_to_capacity",
     "infer_bits_from_observations",
     "key_recovery",
+    "random_bits",
     "random_key",
     "reduce_eviction_set",
+    "run_covert_channel",
+    "run_flush_attack",
     "run_prime_probe_attack",
+    "shared_line_address",
 ]

@@ -14,9 +14,16 @@ pays with false positives on every benign inclusion victim.
 """
 
 from repro.baselines.bitp import BitpPrefetcher
+from repro.baselines.registry import DEFENCES, build_defence
 from repro.baselines.table_recorder import (
     TableRecorder,
     table_eviction_attack,
 )
 
-__all__ = ["BitpPrefetcher", "TableRecorder", "table_eviction_attack"]
+__all__ = [
+    "BitpPrefetcher",
+    "DEFENCES",
+    "TableRecorder",
+    "build_defence",
+    "table_eviction_attack",
+]

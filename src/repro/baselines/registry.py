@@ -1,0 +1,67 @@
+"""Defence registry — one name per scheme the experiments compare.
+
+Every attack scenario (Prime+Probe, Flush+Reload, Flush+Flush, the
+covert channel) and the conformance harness runs against the same four
+configurations:
+
+==========  ======================================================
+``none``    undefended baseline (no monitor on the hierarchy)
+``pipo``    PiPoMonitor with the config's Auto-Cuckoo filter
+``bitp``    stateless back-invalidation prefetcher (BITP, PACT'19)
+``table``   full-tag stateful recorder (prior stateful schemes)
+==========  ======================================================
+
+``build_defence`` centralises the construction idiom the experiments
+previously repeated (filter seed derivation, table sizing to the
+filter's reach, BITP's short delay), so a new scenario gets the whole
+defence matrix by iterating :data:`DEFENCES`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bitp import BitpPrefetcher
+from repro.baselines.table_recorder import TableRecorder
+from repro.core.config import SystemConfig
+from repro.core.pipomonitor import PiPoMonitor
+from repro.utils.events import EventQueue
+from repro.utils.rng import derive_seed
+
+#: Registry order is presentation order in experiment tables.
+DEFENCES: tuple[str, ...] = ("none", "pipo", "bitp", "table")
+
+#: BITP reacts to the back-invalidation itself, so its delay is the
+#: short bus-turnaround figure the baseline comparison uses.
+BITP_PREFETCH_DELAY = 40
+
+
+def build_defence(
+    name: str,
+    config: SystemConfig,
+    events: EventQueue,
+    seed: int = 0,
+):
+    """Build (not attach) the defence ``name`` describes.
+
+    Returns the monitor object, or None for ``"none"``.  The caller
+    attaches it to a hierarchy via ``monitor.attach(hierarchy)``; the
+    shared ``events`` queue must be the one the simulation drains.
+    """
+    if name == "none":
+        return None
+    if name == "pipo":
+        fltr = config.filter.build(seed=derive_seed(seed, "filter"))
+        return PiPoMonitor(
+            fltr, events, prefetch_delay=config.prefetch_delay
+        )
+    if name == "bitp":
+        return BitpPrefetcher(events, prefetch_delay=BITP_PREFETCH_DELAY)
+    if name == "table":
+        # Same reach as the Auto-Cuckoo filter: one table set per
+        # filter bucket, the sizing the baseline comparison pins.
+        return TableRecorder(
+            events,
+            num_sets=config.filter.num_buckets,
+            ways=8,
+            prefetch_delay=config.prefetch_delay,
+        )
+    raise ValueError(f"unknown defence {name!r} (expected one of {DEFENCES})")

@@ -34,6 +34,11 @@ hooks:
   common case on the miss path.
 
 The monitor prefetches by calling :meth:`CacheHierarchy.prefetch_fill`.
+
+Flush-induced invalidations (:meth:`CacheHierarchy.clflush`, the
+Flush+Reload / Flush+Flush attack primitive) raise the same eviction
+hook with the same gating, so every defense observes a flushed tagged
+line exactly like a capacity-evicted one.
 """
 
 from __future__ import annotations
@@ -70,6 +75,7 @@ from repro.memory.controller import MemoryController
 OP_READ = 0
 OP_WRITE = 1
 OP_IFETCH = 2
+OP_FLUSH = 3
 
 #: Table II latencies (cycles).
 DEFAULT_L1_LATENCY = 2
@@ -101,6 +107,16 @@ class AccessStats:
     ``accesses == l1_hits + l1_misses``, and reads are whatever is
     neither a write nor an ifetch.  Deriving them removes two counter
     increments from the busiest basic block in the simulator.
+
+    Flushes (``clflush``) are accounted in their own counters and are
+    **not** demand accesses: they contribute to neither ``accesses``
+    nor ``total_latency`` (``average_latency`` stays the demand-access
+    metric), and ``per_core_accesses`` keeps summing to ``accesses``.
+    ``flush_hits`` counts flushes that found the line resident — the
+    timing channel Flush+Flush measures; ``flush_back_invalidations``
+    counts private copies scrubbed by flushes (kept separate from
+    ``back_invalidations`` so the inclusion-victim metric is not
+    polluted by attacker flushes).
     """
 
     writes: int = 0
@@ -119,6 +135,10 @@ class AccessStats:
     dirty_forwards: int = 0
     prefetch_fills: int = 0
     prefetch_skipped: int = 0
+    flushes: int = 0
+    flush_hits: int = 0
+    flush_writebacks: int = 0
+    flush_back_invalidations: int = 0
     total_latency: int = 0
     per_core_accesses: list[int] = field(default_factory=list)
 
@@ -270,6 +290,8 @@ class CacheHierarchy:
                 stats.per_core_accesses[core] += 1
                 return latency
         else:
+            if op == 3:  # OP_FLUSH — its own service path, not a demand
+                return self.clflush(core, addr, now)
             l1 = (self.l1i if op == 2 else self.l1d)[core]
             l1map = l1._map
             w = l1map.get(line_addr)
@@ -425,6 +447,83 @@ class CacheHierarchy:
                     continue
             append(access(core, op, addr, now))
         return latencies
+
+    # ------------------------------------------------------------------
+    # Flush (clflush/invalidate) — the Flush+Reload / Flush+Flush
+    # attack primitive
+    # ------------------------------------------------------------------
+
+    def clflush(self, core: int, addr: int, now: int = 0) -> int:
+        """Flush one line from the whole coherence domain (x86
+        ``clflush``); return the instruction's latency in cycles.
+
+        Semantics: the directory is probed; if the line is resident in
+        the (inclusive) LLC, every private copy named by the sharers
+        mask is invalidated, dirty data is merged and written back to
+        memory, and the LLC copy is dropped.  ``core`` is the issuing
+        core — a flush hits the issuer's own copies like anyone
+        else's.
+
+        The latency is the Flush+Flush timing channel (Gruss et al.):
+
+        * absent line  — issue + directory probe (fast);
+        * resident     — plus an invalidation round trip;
+        * dirty        — plus the writeback drain to DRAM.
+
+        Monitor contract: a flush-induced LLC invalidation raises the
+        same ``on_llc_eviction`` hook as a capacity eviction, with the
+        same ``needs_all_evictions`` gating and with the directory
+        state intact, **exactly once per flushed line** — so
+        PiPoMonitor sees the pEvict of a tagged line, BITP sees the
+        back-invalidation, and the table recorder behaves like
+        PiPoMonitor.  (The line leaves the LLC here, so the capacity-
+        eviction path can never fire a second hook for it.)
+        """
+        line_addr = addr >> self._line_bits
+        stats = self.stats
+        stats.flushes += 1
+        latency = self.l1_latency + self.llc_latency
+        sl = self._llc_slices[
+            ((line_addr >> self._llc_set_bits) * SLICE_MULT & U64_MASK)
+            >> self._llc_slice_shift
+        ]
+        word = sl._map.pop(line_addr, None)
+        if word is None:
+            # Inclusive hierarchy: absent from the LLC means absent
+            # from every private level — nothing to invalidate.
+            return latency
+        stamp = sl._sets[line_addr & sl._set_mask].pop(line_addr)
+        stats.flush_hits += 1
+        latency += self.llc_latency
+        # Monitor hook after the pop (the victim has left the LLC, as
+        # on the capacity path) but before the sharers scrub, so the
+        # directory state is intact — identical gating and ordering to
+        # ``_handle_llc_eviction``.
+        monitor = self.monitor
+        if monitor is not None and (
+            word & PINGPONG or getattr(monitor, "needs_all_evictions", True)
+        ):
+            victim = CacheLine.from_packed(line_addr, word, stamp)
+            monitor.on_llc_eviction(victim, now)
+            word = victim.to_word()
+        sharers = (word >> _SS) & _SMASK
+        dirty = word & DIRTY
+        version = word >> _VS
+        for other in decode_sharers(sharers):
+            d, v = self._scrub_core_copies(other, line_addr)
+            stats.flush_back_invalidations += 1
+            if d:
+                dirty = DIRTY
+                if v > version:
+                    version = v
+        if dirty:
+            self.mc.writeback(line_addr << self._line_bits, now)
+            self._memory_versions[line_addr] = version
+            stats.writebacks_to_memory += 1
+            stats.flush_writebacks += 1
+            # A flush of dirty data stalls until the drain completes.
+            latency += self.mc.dram.latency
+        return latency
 
     # ------------------------------------------------------------------
     # Write handling

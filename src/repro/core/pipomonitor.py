@@ -7,7 +7,11 @@ Placement and protocol, mirroring Fig. 2:
   Query to the Auto-Cuckoo filter; the Response is the entry's
   Security value.  A Response equal to ``secThr`` captures the line as
   Ping-Pong, and the hierarchy tags the filled LLC copy.
-* When the LLC evicts a tagged line it raises a *pEvict*.  If the line
+* When the LLC loses a tagged line it raises a *pEvict* — on a
+  capacity eviction *or* a flush-induced invalidation
+  (:meth:`repro.cache.hierarchy.CacheHierarchy.clflush`, the
+  Flush+Reload / Flush+Flush attack primitive; the hierarchy
+  guarantees exactly one hook per lost line).  If the line
   was accessed since its last fill, the monitor waits ``prefetch_delay``
   cycles ("to avoid memory bandwidth preemption with the writeback of
   the same line") and then prefetches the line back through the memory

@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import os
 
+from repro.baselines.registry import build_defence
 from repro.core.config import SystemConfig
 from repro.core.pipomonitor import PiPoMonitor
 from repro.cpu.core import Core
 from repro.cpu.multicore import MulticoreSystem, SimulationResult
 from repro.utils.events import EventQueue
 from repro.utils.rng import derive_seed
-from repro.workloads.base import Workload
+from repro.workloads.base import ScriptedWorkload, Workload
 
 
 def batch_enabled(batch: bool | None = None) -> bool:
@@ -103,3 +104,52 @@ def run_workloads(
         result.extra["filter_occupancy"] = monitor.filter.occupancy()
         result.extra["prefetch_delay"] = monitor.prefetch_delay
     return result
+
+
+def run_defended_workloads(
+    config: SystemConfig,
+    workloads: list[Workload],
+    defence: str,
+    seed: int = 0,
+    seed_label: str = "workload",
+    instructions_per_core: int | None = None,
+    pad_idle: bool = False,
+):
+    """Assemble and run a system with a registry defence attached.
+
+    The generalisation of :func:`run_workloads` the attack scenarios
+    and the conformance harness share: ``defence`` is any name from
+    :data:`repro.baselines.registry.DEFENCES` (so BITP and the table
+    recorder plug in where ``config.monitor_enabled`` only covers
+    PiPoMonitor), ``pad_idle`` fills the remaining cores with idle
+    workloads, and ``seed_label`` is the per-core seed-derivation
+    namespace (kept caller-chosen so existing streams stay
+    bit-identical).  Cores consume generators directly — timing-
+    sensitive attackers cannot batch, and the fixed generator path
+    keeps conformance fixtures independent of ``REPRO_BATCH``.
+
+    Returns ``(simulation_result, monitor, hierarchy)``.
+    """
+    workloads = list(workloads)
+    if pad_idle:
+        while len(workloads) < config.num_cores:
+            workloads.append(ScriptedWorkload([(0, None, 0)], name="idle"))
+    if len(workloads) != config.num_cores:
+        raise ValueError(
+            f"need exactly {config.num_cores} workloads, "
+            f"got {len(workloads)}"
+        )
+    events = EventQueue()
+    hierarchy = config.build_hierarchy(seed=seed)
+    monitor = build_defence(defence, config, events, seed=seed)
+    if monitor is not None:
+        monitor.attach(hierarchy)
+    cores = [
+        Core(core_id, wl.generator(core_id, derive_seed(seed, seed_label, core_id)),
+             hierarchy)
+        for core_id, wl in enumerate(workloads)
+    ]
+    result = MulticoreSystem(hierarchy, cores, events).run(
+        max_instructions_per_core=instructions_per_core
+    )
+    return result, monitor, hierarchy

@@ -8,6 +8,8 @@ fig4_collisions     Fig. 4 (fingerprint-collision ratio vs f)
 fig6_attack         Fig. 6 (Prime+Probe with/without PiPoMonitor)
 fig7_reverse        Fig. 7 + §VI-B (brute force / reverse attacks)
 fig8_performance    Fig. 8(a)+(b) (10 mixes × filter sizes)
+fig9_flush_attacks  extension (Flush+Reload / Flush+Flush / covert
+                    channel vs baseline, PiPoMonitor, BITP)
 secthr_sensitivity  §VII-C (secThr ∈ {1,2,3})
 overhead_table      §VII-D (storage and area)
 baseline_comparison §VIII extension (vs table recorder / BITP)

@@ -15,12 +15,9 @@ measured here:
 from __future__ import annotations
 
 from repro.attacks.filter_attacks import analytic_eviction_set_size
-from repro.baselines.bitp import BitpPrefetcher
 from repro.baselines.table_recorder import TableRecorder, table_eviction_attack
 from repro.core.config import TABLE_II_FILTER
-from repro.cpu.core import Core
-from repro.cpu.multicore import MulticoreSystem
-from repro.cpu.system import run_workloads
+from repro.cpu.system import run_defended_workloads, run_workloads
 from repro.experiments.common import (
     ExperimentResult,
     instructions_per_core,
@@ -30,24 +27,8 @@ from repro.experiments.common import (
 )
 from repro.experiments.parallel import run_cells
 from repro.utils.events import EventQueue
-from repro.utils.rng import derive_seed
 
 DEFAULT_MIX = "mix1"
-
-
-def _run_with_monitor(monitor_factory, workloads, instructions, seed, config):
-    """Run a mix with an externally built monitor attached."""
-    events = EventQueue()
-    hierarchy = config.build_hierarchy(seed=seed)
-    monitor = monitor_factory(events)
-    monitor.attach(hierarchy)
-    cores = [
-        Core(i, wl.generator(i, derive_seed(seed, "workload", i)), hierarchy)
-        for i, wl in enumerate(workloads)
-    ]
-    system = MulticoreSystem(hierarchy, cores, events)
-    result = system.run(max_instructions_per_core=instructions)
-    return result, monitor
 
 
 def _run_benign_cell(cell):
@@ -66,20 +47,13 @@ def _run_benign_cell(cell):
             outcome.total_instructions
         )
         return scheme, outcome.mean_time, fp
-    pipo_config = scaled_system_config(full)
+    # table/bitp come from the defence registry (table sized to the
+    # filter's reach, BITP's short delay — the same configurations
+    # fig9 and the conformance harness run against).
     config = scaled_system_config(full, monitor_enabled=False)
-    if scheme == "table":
-        # Same reach as the filter: one table set per filter bucket.
-        factory = lambda ev: TableRecorder(  # noqa: E731
-            ev, num_sets=pipo_config.filter.num_buckets, ways=8,
-            prefetch_delay=pipo_config.prefetch_delay,
-        )
-    elif scheme == "bitp":
-        factory = lambda ev: BitpPrefetcher(ev, prefetch_delay=40)  # noqa: E731
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
-    outcome, monitor = _run_with_monitor(
-        factory, workloads, instructions, seed, config
+    outcome, monitor, _ = run_defended_workloads(
+        config, workloads, scheme, seed=seed,
+        instructions_per_core=instructions,
     )
     fp = monitor.stats.false_positives_per_million_instructions(
         outcome.total_instructions

@@ -23,6 +23,7 @@ from repro.experiments import (
     fig6_attack,
     fig7_reverse,
     fig8_performance,
+    fig9_flush_attacks,
     overhead_table,
     secthr_sensitivity,
 )
@@ -33,6 +34,7 @@ EXPERIMENTS = {
     "fig6": fig6_attack,
     "fig7": fig7_reverse,
     "fig8": fig8_performance,
+    "fig9": fig9_flush_attacks,
     "secthr": secthr_sensitivity,
     "overhead": overhead_table,
     "baselines": baseline_comparison,

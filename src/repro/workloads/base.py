@@ -22,6 +22,12 @@ Packed record layout (one signed 64-bit int)::
     bits 4-17   compute instruction gap (< 2**14)
     bits 18+    line address (byte address >> 6)
 
+The op field carries every hierarchy opcode, including ``OP_FLUSH``
+(packed as 4) — scripted flush streams batch like any other.  The
+flush *attackers* (:mod:`repro.attacks.flush_reload`) nevertheless
+stay ``batchable = False``: their probes time the returned latencies,
+the one thing batch consumption cannot feed back.
+
 Addresses are line-granular, so records stay within 63 bits for any
 core id the region layout supports.
 """

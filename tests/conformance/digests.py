@@ -1,0 +1,38 @@
+"""Canonical digests of simulation outcomes.
+
+The conformance harness compares *payloads*: JSON-normalised dicts
+built from dataclass trees (``SimulationResult`` and friends).  Two
+rules make the comparison bit-exact and diagnosable:
+
+* everything is round-tripped through JSON before hashing or
+  comparing, so tuples vs lists and other representation accidents
+  cannot produce false drift;
+* the hash is SHA-256 over the compact, key-sorted JSON encoding —
+  the digest any other implementation of a scenario must reproduce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+
+def _jsonify_dataclasses(obj):
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    raise TypeError(f"not canonicalisable: {type(obj).__name__}")
+
+
+def canonical(obj):
+    """Normalise ``obj`` (dataclass trees included) to JSON-safe data."""
+    return json.loads(json.dumps(obj, sort_keys=True,
+                                 default=_jsonify_dataclasses))
+
+
+def payload_digest(payload) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding."""
+    encoded = json.dumps(
+        canonical(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(encoded.encode()).hexdigest()

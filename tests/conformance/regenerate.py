@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Regenerate (or verify) the golden-trace conformance fixtures.
+
+Usage::
+
+    python tests/conformance/regenerate.py             # (re)write all
+    python tests/conformance/regenerate.py --check     # verify, no writes
+    python tests/conformance/regenerate.py --only flush_reload__pipo
+
+``--check`` recomputes every scenario from its pinned seed and
+compares payload and digest against ``tests/golden/*.json``; it exits
+non-zero on any drift, any missing fixture, and any orphaned fixture
+(a golden file whose scenario no longer exists).  Drift in a fixture
+is therefore a one-command diagnosis: the failing scenario names the
+exact attack × defence combination whose engine behaviour changed.
+
+The script bootstraps its own import paths, so it runs from a clean
+checkout with no environment setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+
+from digests import payload_digest  # noqa: E402
+from scenarios import GOLDEN_DIR, SCENARIOS, SEED, run_scenario  # noqa: E402
+
+
+def fixture_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def write_fixture(name: str) -> None:
+    payload = run_scenario(name)
+    record = {
+        "scenario": name,
+        "seed": SEED,
+        "digest": payload_digest(payload),
+        "payload": payload,
+    }
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    with fixture_path(name).open("w") as fh:
+        json.dump(record, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def check_fixture(name: str) -> list[str]:
+    """Return human-readable problems with one scenario's fixture."""
+    path = fixture_path(name)
+    if not path.exists():
+        return [f"{name}: fixture missing ({path})"]
+    with path.open() as fh:
+        record = json.load(fh)
+    problems = []
+    payload = run_scenario(name)
+    digest = payload_digest(payload)
+    if record.get("seed") != SEED:
+        problems.append(
+            f"{name}: fixture pinned seed {record.get('seed')} != {SEED}"
+        )
+    if record.get("payload") != payload:
+        problems.append(f"{name}: payload drift")
+    if record.get("digest") != digest:
+        problems.append(
+            f"{name}: digest {record.get('digest')} != recomputed {digest}"
+        )
+    return problems
+
+
+def orphaned_fixtures(names) -> list[Path]:
+    known = {f"{name}.json" for name in names}
+    if not GOLDEN_DIR.exists():
+        return []
+    return [
+        path for path in sorted(GOLDEN_DIR.glob("*.json"))
+        if path.name not in known
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate or verify the conformance fixtures"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify fixtures instead of rewriting them",
+    )
+    parser.add_argument(
+        "--only", metavar="NAME", action="append", default=None,
+        help="restrict to one scenario (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(SCENARIOS)
+    if args.only:
+        unknown = sorted(set(args.only) - set(names))
+        if unknown:
+            parser.error(f"unknown scenario(s): {', '.join(unknown)}")
+        names = sorted(args.only)
+
+    if not args.check:
+        for name in names:
+            write_fixture(name)
+            print(f"wrote {fixture_path(name).relative_to(Path.cwd())}"
+                  if fixture_path(name).is_relative_to(Path.cwd())
+                  else f"wrote {fixture_path(name)}")
+        return 0
+
+    problems: list[str] = []
+    for name in names:
+        issues = check_fixture(name)
+        problems.extend(issues)
+        print(f"{name}: {'OK' if not issues else 'DRIFT'}")
+    if args.only is None:
+        for path in orphaned_fixtures(sorted(SCENARIOS)):
+            problems.append(f"orphaned fixture: {path}")
+    if problems:
+        print()
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        print(
+            "\nfix: inspect the diff, then rerun "
+            "`python tests/conformance/regenerate.py` if the change is "
+            "intended",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(names)} fixtures bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""The golden-trace scenario matrix: attack × defence, pinned seeds.
+
+Every scenario is a zero-argument callable returning a canonical
+payload (see :mod:`digests`) built from the full engine outcome — the
+``SimulationResult`` plus the scenario's observable channel (probe
+timelines, received bits).  The fixtures under ``tests/golden/`` pin
+those payloads bit-exactly; any engine change that alters replacement
+decisions, coherence actions, filter state, monitor scheduling, or RNG
+derivation shows up as a digest mismatch.
+
+This is the regression gate the ROADMAP's compiled-kernel step needs:
+a compiled access/filter kernel is admissible exactly when every
+scenario here still reproduces its golden digest.
+
+Adding a scenario
+-----------------
+1. add an entry to :data:`SCENARIOS` (a new attack kind, defence, or
+   workload — keep it seconds-small and fully seed-derived);
+2. run ``python tests/conformance/regenerate.py`` to write its
+   fixture;
+3. commit the new ``tests/golden/<name>.json`` together with the code.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_ROOT = _HERE.parents[1]
+for _path in (str(_HERE), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from digests import canonical  # noqa: E402
+
+from repro.attacks.covert_channel import run_covert_channel  # noqa: E402
+from repro.attacks.flush_reload import run_flush_attack  # noqa: E402
+from repro.attacks.primeprobe import run_prime_probe_attack  # noqa: E402
+from repro.baselines.registry import DEFENCES  # noqa: E402
+from repro.cpu.system import run_defended_workloads  # noqa: E402
+from repro.experiments.common import (  # noqa: E402
+    scaled_mix_workloads,
+    scaled_system_config,
+)
+
+#: Where the pinned fixtures live.
+GOLDEN_DIR = _ROOT / "tests" / "golden"
+
+#: One pinned seed for the whole matrix — scenarios must derive every
+#: stochastic component from it.
+SEED = 20260730
+
+#: Small-but-meaningful scales: every scenario runs in well under a
+#: second so the whole matrix stays a tier-1-time gate.
+ATTACK_ITERATIONS = 16
+COVERT_BITS = 24
+COVERT_WINDOW = 3000
+BENIGN_INSTRUCTIONS = 15_000
+
+
+def _attack_payload(key_bits, square, multiply, monitor_stats, simulation):
+    return canonical({
+        "key_bits": key_bits,
+        "square_observed": square,
+        "multiply_observed": multiply,
+        "monitor": monitor_stats,
+        "simulation": simulation,
+    })
+
+
+def prime_probe(defence: str):
+    """Fig. 6's Prime+Probe (monitor on/off only — the attack predates
+    the defence registry and its two configurations are the paper's)."""
+    outcome = run_prime_probe_attack(
+        monitor_enabled=(defence == "pipo"),
+        iterations=ATTACK_ITERATIONS,
+        seed=SEED,
+    )
+    return _attack_payload(
+        outcome.key_bits,
+        outcome.square_observed,
+        outcome.multiply_observed,
+        outcome.monitor_stats,
+        outcome.extra["simulation"],
+    )
+
+
+def flush_attack(kind: str, defence: str):
+    outcome = run_flush_attack(
+        kind, defence, iterations=ATTACK_ITERATIONS, seed=SEED
+    )
+    return _attack_payload(
+        outcome.key_bits,
+        outcome.square_observed,
+        outcome.multiply_observed,
+        outcome.monitor_stats,
+        outcome.simulation,
+    )
+
+
+def covert(defence: str):
+    outcome = run_covert_channel(
+        defence, n_bits=COVERT_BITS, window=COVERT_WINDOW, seed=SEED
+    )
+    return canonical({
+        "sent_bits": outcome.sent_bits,
+        "received_bits": outcome.received_bits,
+        "monitor": outcome.monitor_stats,
+        "simulation": outcome.simulation,
+    })
+
+
+def benign(defence: str):
+    """One Table III mix at tier-1 scale under each defence — the
+    engine-level scenario the performance experiments are made of.
+
+    Built on the explicit generator path so the fixture is independent
+    of the ``REPRO_BATCH`` toggle (batch equivalence has its own
+    golden tests in ``tests/test_packed_and_batching.py``).
+    """
+    config = scaled_system_config(False, monitor_enabled=False)
+    workloads = scaled_mix_workloads("mix1", False)
+    simulation, _, _ = run_defended_workloads(
+        config, workloads, defence, seed=SEED,
+        instructions_per_core=BENIGN_INSTRUCTIONS,
+    )
+    return canonical({"simulation": simulation})
+
+
+def _build_registry():
+    scenarios = {}
+    for defence in ("none", "pipo"):
+        scenarios[f"prime_probe__{defence}"] = (
+            lambda d=defence: prime_probe(d)
+        )
+    for kind in ("flush_reload", "flush_flush"):
+        for defence in DEFENCES:
+            scenarios[f"{kind}__{defence}"] = (
+                lambda k=kind, d=defence: flush_attack(k, d)
+            )
+    for defence in ("none", "pipo"):
+        scenarios[f"covert__{defence}"] = lambda d=defence: covert(d)
+    for defence in DEFENCES:
+        scenarios[f"benign_mix1__{defence}"] = lambda d=defence: benign(d)
+    return scenarios
+
+
+#: name → zero-argument payload builder.
+SCENARIOS = _build_registry()
+
+
+def run_scenario(name: str):
+    """Compute one scenario's canonical payload."""
+    return SCENARIOS[name]()

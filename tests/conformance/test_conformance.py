@@ -1,0 +1,55 @@
+"""Golden-trace conformance: every attack × defence scenario must
+replay bit-identically against its pinned fixture.
+
+This suite is the regression gate for engine-level rewrites (the
+ROADMAP's compiled access/filter kernel in particular): a change is
+semantically invisible exactly when every scenario still reproduces
+its golden digest.  On intended behaviour changes, regenerate the
+fixtures (``python tests/conformance/regenerate.py``) and commit them
+with the code — the diff of the JSON payloads documents precisely what
+changed.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from regenerate import check_fixture, orphaned_fixtures  # noqa: E402
+from scenarios import SCENARIOS  # noqa: E402
+
+pytestmark = pytest.mark.conformance
+
+_REGEN_HINT = (
+    "run `python tests/conformance/regenerate.py` and commit the "
+    "fixture if this change is intended"
+)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_replays_bit_identically(name):
+    # Single source of truth: the same check `regenerate.py --check`
+    # runs, so the CLI and the test suite cannot drift apart.
+    problems = check_fixture(name)
+    assert not problems, f"{problems} — {_REGEN_HINT}"
+
+
+def test_no_orphaned_fixtures():
+    orphans = orphaned_fixtures(sorted(SCENARIOS))
+    assert not orphans, (
+        f"golden fixtures without a scenario: "
+        f"{[path.name for path in orphans]} — delete them or restore "
+        "their scenarios"
+    )
+
+
+def test_matrix_covers_every_defence():
+    """The scenario matrix must keep covering the full defence
+    registry for the flush attacks and the benign workload."""
+    from repro.baselines.registry import DEFENCES
+
+    for kind in ("flush_reload", "flush_flush", "benign_mix1"):
+        for defence in DEFENCES:
+            assert f"{kind}__{defence}" in SCENARIOS

@@ -1,0 +1,18 @@
+"""Tier defaults for the test suite.
+
+Everything under ``tests/`` is tier-1 unless it carries an explicit
+tier marker: the ``conformance`` suite (``tests/conformance/``) and
+the ``tier2_perf`` benchmarks keep their own markers, every other test
+is auto-marked ``tier1``.  ``python -m pytest -x -q`` therefore runs
+tier-1 *plus* conformance (both are fast and both gate merges), while
+``-m tier1`` and ``-m conformance`` select either suite standalone.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "conformance" in item.keywords or "tier2_perf" in item.keywords:
+            continue
+        item.add_marker(pytest.mark.tier1)

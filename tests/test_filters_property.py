@@ -1,0 +1,171 @@
+"""Property-based (Hypothesis) tests for the cuckoo filters.
+
+Three families:
+
+* hashing — the partial-key alternate index is an involution
+  (``alt(alt(i, fp), fp) == i``) for any seed, and the Auto-Cuckoo
+  filter's precomputed XOR table is bit-identical to the hasher;
+* classic :class:`CuckooFilter` — insert/query/delete round-trips:
+  no false negatives while resident, delete removes exactly one
+  matching record, occupancy bookkeeping stays consistent;
+* :class:`AutoCuckooFilter` — ``access_many`` is state-identical to
+  looped ``access`` for any key sequence, responses saturate at
+  ``secThr``, occupancy is monotone and never exceeds capacity.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.hashing import PartialKeyHasher
+
+#: Filter-sized integers: line addresses are 64-bit-ish keys.
+keys = st.integers(min_value=0, max_value=(1 << 48) - 1)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+#: Small geometries saturate quickly, exercising kicks and deletions.
+SMALL_BUCKETS = 16
+SMALL_ENTRIES = 4
+
+
+def _filter_state(fltr: AutoCuckooFilter):
+    return (
+        fltr.total_accesses,
+        fltr.total_relocations,
+        fltr.autonomic_deletions,
+        fltr.valid_count,
+        fltr._lcg,
+        fltr._fps,
+        fltr._security,
+    )
+
+
+class TestAltIndexInvolution:
+    @given(seed=seeds, index=st.integers(0, SMALL_BUCKETS - 1),
+           fingerprint=st.integers(1, (1 << 12) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_alt_index_is_an_involution(self, seed, index, fingerprint):
+        hasher = PartialKeyHasher(SMALL_BUCKETS, 12, seed=seed)
+        alt = hasher.alt_index(index, fingerprint)
+        assert 0 <= alt < SMALL_BUCKETS
+        assert hasher.alt_index(alt, fingerprint) == index
+
+    @given(seed=seeds, key=keys)
+    @settings(max_examples=100, deadline=None)
+    def test_candidate_buckets_are_mutual_alternates(self, seed, key):
+        hasher = PartialKeyHasher(64, 10, seed=seed)
+        fp, i1, i2 = hasher.candidate_buckets(key)
+        assert hasher.alt_index(i1, fp) == i2
+        assert hasher.alt_index(i2, fp) == i1
+        assert 1 <= fp <= (1 << 10) - 1
+
+    @given(seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_precomputed_xor_table_matches_hasher(self, seed):
+        fltr = AutoCuckooFilter(
+            num_buckets=SMALL_BUCKETS, entries_per_bucket=SMALL_ENTRIES,
+            fingerprint_bits=8, seed=seed,
+        )
+        assert fltr._alt_xor is not None
+        for fp in range(1, 1 << 8):
+            assert fltr.hasher.alt_index(0, fp) == fltr._alt_xor[fp]
+
+
+class TestClassicCuckooRoundTrips:
+    @given(seed=seeds, batch=st.lists(keys, min_size=1, max_size=30,
+                                      unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_no_false_negatives_while_resident(self, seed, batch):
+        fltr = CuckooFilter(
+            num_buckets=SMALL_BUCKETS, entries_per_bucket=SMALL_ENTRIES,
+            max_kicks=8, seed=seed,
+        )
+        resident = [key for key in batch if fltr.insert(key)]
+        for key in resident:
+            assert fltr.contains(key)
+
+    @given(seed=seeds, batch=st.lists(keys, min_size=1, max_size=30,
+                                      unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_insert_delete_query_round_trip(self, seed, batch):
+        fltr = CuckooFilter(
+            num_buckets=SMALL_BUCKETS, entries_per_bucket=SMALL_ENTRIES,
+            max_kicks=8, seed=seed,
+        )
+        resident = [key for key in batch if fltr.insert(key)]
+        count = fltr.valid_count
+        assert count == len(resident)
+        for key in resident:
+            # A resident key's fingerprint is present, so delete must
+            # succeed (it may hit a colliding record — false deletion —
+            # but it always removes exactly one matching entry).
+            assert fltr.delete(key)
+            count -= 1
+            assert fltr.valid_count == count
+        assert fltr.valid_count == 0
+
+    @given(seed=seeds, key=keys)
+    @settings(max_examples=100, deadline=None)
+    def test_delete_of_absent_key_is_a_noop(self, seed, key):
+        fltr = CuckooFilter(
+            num_buckets=SMALL_BUCKETS, entries_per_bucket=SMALL_ENTRIES,
+            seed=seed,
+        )
+        assert not fltr.delete(key)
+        assert fltr.valid_count == 0
+
+
+class TestAutoCuckooProperties:
+    @given(seed=seeds,
+           sequence=st.lists(keys, min_size=1, max_size=120))
+    @settings(max_examples=100, deadline=None)
+    def test_access_many_equals_looped_access(self, seed, sequence):
+        looped = AutoCuckooFilter(
+            num_buckets=SMALL_BUCKETS, entries_per_bucket=SMALL_ENTRIES,
+            fingerprint_bits=8, seed=seed,
+        )
+        batched = AutoCuckooFilter(
+            num_buckets=SMALL_BUCKETS, entries_per_bucket=SMALL_ENTRIES,
+            fingerprint_bits=8, seed=seed,
+        )
+        threshold = looped.security_threshold
+        captures = sum(
+            1 for key in sequence if looped.access(key) >= threshold
+        )
+        assert batched.access_many(sequence) == captures
+        assert _filter_state(looped) == _filter_state(batched)
+
+    @given(seed=seeds,
+           sequence=st.lists(keys, min_size=1, max_size=120))
+    @settings(max_examples=100, deadline=None)
+    def test_occupancy_monotone_and_responses_saturate(self, seed, sequence):
+        fltr = AutoCuckooFilter(
+            num_buckets=SMALL_BUCKETS, entries_per_bucket=SMALL_ENTRIES,
+            fingerprint_bits=8, seed=seed,
+        )
+        last_valid = 0
+        for key in sequence:
+            response = fltr.access(key)
+            assert 0 <= response <= fltr.security_threshold
+            # Autonomic deletion: insertion never fails and the
+            # occupied-slot count never decreases.
+            assert fltr.valid_count >= last_valid
+            last_valid = fltr.valid_count
+        assert fltr.valid_count <= fltr.capacity
+
+    @given(seed=seeds, key=keys, extra=st.integers(0, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_repeated_access_reaches_threshold(self, seed, key, extra):
+        fltr = AutoCuckooFilter(
+            num_buckets=SMALL_BUCKETS, entries_per_bucket=SMALL_ENTRIES,
+            fingerprint_bits=8, seed=seed,
+        )
+        assert fltr.access(key) == 0
+        responses = [
+            fltr.access(key)
+            for _ in range(fltr.security_threshold + extra)
+        ]
+        assert responses[fltr.security_threshold - 1:] == [
+            fltr.security_threshold
+        ] * (extra + 1)
+        assert fltr.security_of(key) == fltr.security_threshold
