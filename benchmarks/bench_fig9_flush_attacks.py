@@ -1,4 +1,14 @@
-"""Fig. 9 extension — flush-based attacks and covert channel vs defences."""
+"""Fig. 9 extension — flush-based attacks and covert channel vs defences.
+
+Accepts the shared ``--engine {python,specialized,c}`` option (see
+``benchmarks/conftest.py``), e.g.::
+
+    pytest benchmarks/bench_fig9_flush_attacks.py --engine c
+
+and writes ``benchmarks/results/fig9.txt`` stamped with the
+seed/scale/engine it was generated under, so the committed artefact is
+reproducible from its header alone.
+"""
 
 from repro.experiments import fig9_flush_attacks
 

@@ -16,6 +16,13 @@ trajectory to ``benchmarks/results/BENCH_hotpath.json``.  All state
 is rebuilt per round (``pedantic`` + setup) so rounds are identical
 work; every stream is seeded — run-to-run variance is the machine's,
 not the workload's.
+
+The measured entry points go through the **engine seam**
+(``hierarchy.engine_access()`` / ``filter.engine_access()``), so the
+same benchmark file measures whichever ``REPRO_ENGINE`` selects —
+``benchmarks/run_perf.sh`` stamps the engine into every record, and
+interleaved before/after comparisons are just two runs with the
+variable flipped (see PERFORMANCE.md).
 """
 
 import pytest
@@ -23,6 +30,7 @@ import pytest
 from repro.cache.hierarchy import OP_READ
 from repro.core.config import TABLE_II
 from repro.core.pipomonitor import PiPoMonitor
+from repro.engine import effective_engine
 from repro.filters.auto_cuckoo import AutoCuckooFilter
 from repro.utils.events import EventQueue
 
@@ -60,6 +68,7 @@ def _bench_ops(benchmark, fn, setup, ops):
     )
     if benchmark.stats is not None:
         benchmark.extra_info["operations"] = ops
+        benchmark.extra_info["engine"] = effective_engine()
         benchmark.extra_info["ops_per_sec"] = round(
             ops / benchmark.stats.stats.min
         )
@@ -81,7 +90,7 @@ def _l1_hit_state():
 def test_access_l1_hit(benchmark):
     def run(state):
         h, seq = state
-        access = h.access
+        access = h.engine_access()
         for a in seq:
             access(0, OP_READ, a)
 
@@ -112,7 +121,7 @@ def test_access_llc_hit(benchmark):
 
     def run(state):
         h, seq = state
-        access = h.access
+        access = h.engine_access()
         for a in seq:
             access(0, OP_READ, a)
 
@@ -131,7 +140,7 @@ def test_access_miss(benchmark):
 
     def run(state):
         h, seq = state
-        access = h.access
+        access = h.engine_access()
         for a in seq:
             access(0, OP_READ, a)
 
@@ -150,7 +159,7 @@ def test_filter_access_hits(benchmark):
 
     def run(state):
         fltr, keys = state
-        access = fltr.access
+        access = fltr.engine_access()
         for k in keys:
             access(k)
 
@@ -166,7 +175,7 @@ def test_filter_access_mixed(benchmark):
 
     def run(state):
         fltr, keys = state
-        access = fltr.access
+        access = fltr.engine_access()
         for k in keys:
             access(k)
 
@@ -193,4 +202,5 @@ def test_fig8_single_cell(benchmark):
         run, setup=lambda: ((None,), {}), rounds=3, iterations=1,
     )
     benchmark.extra_info["operations"] = 1
+    benchmark.extra_info["engine"] = effective_engine()
     return result

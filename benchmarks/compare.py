@@ -29,18 +29,46 @@ TRAJECTORY_PATH = Path(__file__).resolve().parent / "results" / "BENCH_trajector
 
 
 def load_record(source: str, trajectory: bool) -> dict:
-    """Load a compact benchmark record from a file or a trajectory commit."""
+    """Load a compact benchmark record from a file or a trajectory commit.
+
+    Every failure mode exits with a one-line diagnosis (missing file,
+    malformed JSON, unknown SHA) instead of a traceback — this script
+    is the first thing run when chasing a perf report, so its own
+    errors must read instantly.
+    """
     if not trajectory:
-        with open(source) as fh:
-            record = json.load(fh)
+        try:
+            with open(source) as fh:
+                record = json.load(fh)
+        except FileNotFoundError:
+            raise SystemExit(
+                f"error: no benchmark record at {source!r} "
+                "(run benchmarks/run_perf.sh to produce one)"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"error: {source}: not valid JSON ({exc})") from None
         if "benchmarks" not in record:
-            raise SystemExit(f"{source}: not a compact benchmark record")
+            raise SystemExit(f"error: {source}: not a compact benchmark record")
         return record
-    with open(TRAJECTORY_PATH) as fh:
-        entries = json.load(fh)
+    try:
+        with open(TRAJECTORY_PATH) as fh:
+            entries = json.load(fh)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: no trajectory file at {TRAJECTORY_PATH} — run "
+            "benchmarks/run_perf.sh at least once to start one"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"error: {TRAJECTORY_PATH}: not valid JSON ({exc})"
+        ) from None
     matches = [e for e in entries if e.get("commit", "").startswith(source)]
     if not matches:
-        raise SystemExit(f"no trajectory entry for commit {source!r}")
+        known = sorted({e.get("commit", "?") for e in entries})
+        raise SystemExit(
+            f"error: no trajectory entry for commit {source!r}; "
+            f"recorded commits: {', '.join(known) if known else '(none)'}"
+        )
     return matches[-1]  # latest run of that commit
 
 
@@ -49,7 +77,13 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> int:
     cand = candidate["benchmarks"]
     shared = sorted(set(base) & set(cand))
     if not shared:
-        raise SystemExit("records share no benchmarks")
+        raise SystemExit("error: records share no benchmarks")
+    engines = (baseline.get("engine"), candidate.get("engine"))
+    if any(engines):
+        print(
+            f"engines: baseline={engines[0] or 'unrecorded'}  "
+            f"candidate={engines[1] or 'unrecorded'}"
+        )
     width = max(len(n) for n in shared)
     print(f"{'benchmark'.ljust(width)}  {'baseline':>14}  {'candidate':>14}  {'ratio':>7}")
     regressions = []

@@ -28,6 +28,12 @@ GIT_DIRTY=""
 if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
     GIT_DIRTY="-dirty"
 fi
+# Fallback engine label only: the authoritative stamp comes from the
+# benchmark processes themselves (each bench records the *effective*
+# engine in its extra_info, after any toolchain fallback), so records
+# stay truthful even when `--engine` is passed through to pytest or
+# the C backend degrades.
+ENGINE=${REPRO_ENGINE:-specialized}
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_hotpath.py \
@@ -35,18 +41,31 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     --benchmark-json="$RAW" \
     "$@"
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$RAW" "$OUT" "$TRAJECTORY" "$GIT_SHA$GIT_DIRTY" <<'EOF'
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$RAW" "$OUT" "$TRAJECTORY" "$GIT_SHA$GIT_DIRTY" "$ENGINE" <<'EOF'
 import json
 import sys
 
-raw_path, out_path, trajectory_path, git_sha = sys.argv[1:5]
+raw_path, out_path, trajectory_path, git_sha, engine = sys.argv[1:6]
 with open(raw_path) as fh:
     raw = json.load(fh)
+
+# Prefer the engine the benchmarks actually ran (recorded per-bench
+# after fallback resolution) over the shell's environment guess.
+measured = {
+    b.get("extra_info", {}).get("engine")
+    for b in raw["benchmarks"]
+    if b.get("extra_info", {}).get("engine")
+}
+if len(measured) == 1:
+    engine = measured.pop()
+elif measured:
+    engine = "mixed:" + "+".join(sorted(measured))
 
 record = {
     "machine": raw.get("machine_info", {}).get("node"),
     "datetime": raw.get("datetime"),
     "commit": git_sha,
+    "engine": engine,
     "benchmarks": {},
 }
 for bench in raw["benchmarks"]:
@@ -74,6 +93,7 @@ trajectory.append({
     "commit": record["commit"],
     "datetime": record["datetime"],
     "machine": record["machine"],
+    "engine": record["engine"],
     "benchmarks": {
         name: {"ops_per_sec": entry["ops_per_sec"],
                "best_seconds": entry["best_seconds"]}
@@ -90,5 +110,5 @@ for name, entry in sorted(record["benchmarks"].items()):
     print(f"{name.ljust(width)}  {entry['ops_per_sec']:>14,.1f}  "
           f"{entry['best_seconds']:>9.4f}s")
 print(f"\nwrote {out_path}")
-print(f"appended run {len(trajectory)} (commit {record['commit']}) to {trajectory_path}")
+print(f"appended run {len(trajectory)} (commit {record['commit']}, engine {engine}) to {trajectory_path}")
 EOF

@@ -14,6 +14,8 @@ Subpackages
 ``repro.baselines``   prior-work defenses (table recorder, BITP)
 ``repro.overhead``    storage accounting + CACTI-like area model
 ``repro.experiments`` one harness per paper figure/table
+``repro.engine``      runtime kernel generator: specialized / C-backed
+                      hot paths selected via ``REPRO_ENGINE``
 
 The most common entry points are re-exported here.
 """

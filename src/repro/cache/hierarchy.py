@@ -187,6 +187,8 @@ class CacheHierarchy:
         "_llc_slices",
         "_llc_set_bits",
         "_llc_slice_shift",
+        "_kernel",
+        "_kernel_key",
     )
 
     def __init__(
@@ -250,6 +252,26 @@ class CacheHierarchy:
         # the expression degenerates to index 0 on its own).
         self._llc_set_bits = self.llc._set_bits
         self._llc_slice_shift = self.llc._slice_shift
+        # Engine seam: the specialized/C kernels are generated lazily
+        # by repro.engine and cached here (invalidated when the engine
+        # selection or the attached monitor changes).
+        self._kernel = None
+        self._kernel_key = None
+
+    def engine_access(self):
+        """The per-event access entry point under the selected engine
+        (``REPRO_ENGINE``): the generic :meth:`access` bound method for
+        the ``python`` engine, a generated fused kernel otherwise.
+
+        Callers that loop over memory operations (cores, batch replay)
+        bind this once — after the monitor is attached — instead of
+        :meth:`access`; both entry points mutate the same state, so
+        they interleave freely (flushes, monitor prefetch fills, and
+        introspection always run the generic paths).
+        """
+        from repro.engine import hierarchy_access
+
+        return hierarchy_access(self)
 
     # ------------------------------------------------------------------
     # The demand access path
@@ -423,7 +445,9 @@ class CacheHierarchy:
         line_bits = self._line_bits
         l1_latency = self.l1_latency
         per_core = stats.per_core_accesses
-        access = self.access
+        # Non-inline requests go through the engine-selected kernel
+        # (the generic ``access`` under REPRO_ENGINE=python).
+        access = self.engine_access()
         latencies = []
         append = latencies.append
         for core, op, addr in requests:

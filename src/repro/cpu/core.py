@@ -90,9 +90,13 @@ class Core:
         self._last_latency = 0
         self._primed = False
         # Bound-method caches for the calls made per scheduler step;
-        # the advance/execute loop dominates simulation time.
+        # the advance/execute loop dominates simulation time.  The
+        # access entry point is resolved through the engine seam
+        # (REPRO_ENGINE): cores are constructed after the monitor is
+        # attached, so the specialized kernel binds the final monitor
+        # configuration.
         self._send = workload.send if workload is not None else None
-        self._access = hierarchy.access
+        self._access = hierarchy.engine_access()
         # This core's own L1D plus the shared stats block, resolved
         # once: ~3/4 of all memory operations are L1 read hits, and
         # the step loop below serves those without entering ``access``.

@@ -12,6 +12,15 @@ through the chunked batch prefetch (:class:`repro.cpu.core.Core`'s
 streams are identical either way, so results are bit-identical —
 ``REPRO_BATCH=0`` (or ``batch=False``) forces the generator path,
 which the golden-equivalence tests compare against.
+
+Engine binding happens here implicitly: both assembly helpers attach
+the monitor *before* constructing cores, and each core resolves its
+access entry point through ``hierarchy.engine_access()`` at
+construction — so under ``REPRO_ENGINE=specialized``/``c`` the
+generated kernel is compiled once per system, outside the simulated
+region, with the final monitor configuration baked in.  Results are
+bit-identical across engines (the conformance harness replays the
+full scenario matrix under each).
 """
 
 from __future__ import annotations

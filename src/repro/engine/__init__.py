@@ -1,0 +1,162 @@
+"""Engine selection: generic, specialized, or C-backed hot paths.
+
+The simulator has one semantic model and (now) three executions of it:
+
+========================  =============================================
+``python``                the generic ``CacheHierarchy.access`` /
+                          ``AutoCuckooFilter.access`` methods — the
+                          reference implementation every other engine
+                          must match bit-for-bit
+``specialized`` (default) per-config kernels generated and
+                          ``exec``-compiled at runtime
+                          (:mod:`repro.engine.specialize`): constants
+                          baked in, dead branches removed, the
+                          access → fill/evict → filter chain fused
+``c``                     the specialized kernel with the Auto-Cuckoo
+                          Query/kick-walk additionally compiled to C
+                          via cffi (:mod:`repro.engine.c_backend`);
+                          degrades to ``specialized`` when no
+                          toolchain/cffi is available
+========================  =============================================
+
+Selection is by the ``REPRO_ENGINE`` environment variable (so fork and
+spawn workers inherit the choice automatically) or the CLI's
+``--engine`` flag, resolved **lazily at kernel-bind time** — a core
+binds its access entry point when it is constructed, after the monitor
+is attached.  Every engine is admissible only because the golden-trace
+conformance harness (``tests/conformance/``) replays the full
+attack × defence scenario matrix bit-identically under each of them;
+an unsupported configuration (custom replacement policy, instrumented
+filter, wide fingerprints) silently falls back to the generic engine
+rather than approximating.
+"""
+
+from __future__ import annotations
+
+import os
+
+ENGINES: tuple[str, ...] = ("python", "specialized", "c")
+DEFAULT_ENGINE = "specialized"
+
+_ENV_VAR = "REPRO_ENGINE"
+
+
+def engine_name() -> str:
+    """Resolve the selected engine from ``REPRO_ENGINE``.
+
+    Unset/empty selects the default (``specialized``); invalid values
+    raise so typos never silently change what is being measured.
+    """
+    raw = os.environ.get(_ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_ENGINE
+    if raw not in ENGINES:
+        raise ValueError(
+            f"{_ENV_VAR} must be one of {ENGINES}, got {raw!r}"
+        )
+    return raw
+
+
+def set_engine(name: str) -> None:
+    """Select an engine process-wide (and for future worker processes).
+
+    Writes ``REPRO_ENGINE`` so multiprocessing workers — fork or spawn
+    — rebuild the same kernels; the CLI's ``--engine`` flag routes
+    through here.
+    """
+    if name not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {name!r}")
+    os.environ[_ENV_VAR] = name
+
+
+def effective_engine() -> str:
+    """The engine that will actually run, after global degradation.
+
+    ``engine_name()`` reports the *request*; this resolves the one
+    documented global fallback — ``c`` without a buildable cffi
+    extension degrades to ``specialized``.  Provenance stamps
+    (benchmark records, artefact headers) must use this, never the
+    request, so a toolchain-less host cannot label specialized-engine
+    numbers as C numbers.  (Per-object fallbacks — instrumented
+    filters, unsupported policies — remain config-local and are not
+    reflected here.)
+    """
+    name = engine_name()
+    if name == "c":
+        from repro.engine import c_backend
+
+        if not c_backend.available():
+            return "specialized"
+    return name
+
+
+def available_engines(probe_c: bool = True) -> tuple[str, ...]:
+    """The engines this host can actually run.
+
+    ``python`` and ``specialized`` are always available; ``c`` is
+    included only when the cffi extension builds (``probe_c=False``
+    skips the build attempt).  Used by the engine-parametrized test
+    suites and the CI matrix.
+    """
+    if probe_c:
+        from repro.engine import c_backend
+
+        if c_backend.available():
+            return ENGINES
+    return ("python", "specialized")
+
+
+def hierarchy_access(h):
+    """The per-event access entry point for ``h`` under the selected
+    engine: the generic bound method for ``python``, a freshly
+    generated (or cached) fused kernel otherwise.
+
+    The kernel is cached on the hierarchy and rebuilt when the engine
+    or the attached monitor changes; configurations the specializer
+    does not support fall back to the generic method.
+    """
+    name = engine_name()
+    if name == "python":
+        return h.access
+    key = (name, id(h.monitor))
+    if h._kernel is not None and h._kernel_key == key:
+        return h._kernel
+    from repro.engine.specialize import build_access_kernel
+
+    kernel = build_access_kernel(h, engine=name)
+    if kernel is None:
+        kernel = h.access
+    # The kernel closure keeps the monitor alive, so the id() in the
+    # key cannot be recycled while this cache entry exists.
+    h._kernel = kernel
+    h._kernel_key = key
+    return kernel
+
+
+def filter_access(flt):
+    """The per-Access filter entry point under the selected engine.
+
+    Returns a callable ``access(key) -> Response`` operating on
+    ``flt``'s state: the generic method for ``python``, the fused
+    closure for ``specialized``, and the cffi kernel for ``c`` (with
+    graceful fallback down the ladder when a tier is unsupported).
+    """
+    if getattr(flt, "_c_state", None) is not None:
+        # Already routed through C (one-way): its arrays are
+        # authoritative, so the C entry point is the only consistent
+        # one whatever engine is now selected.
+        return flt.access
+    name = engine_name()
+    if name == "c":
+        from repro.engine import c_backend
+
+        if c_backend.install(flt):
+            return flt.access
+        name = "specialized"
+    if name == "specialized":
+        from repro.engine.specialize import build_filter_kernel
+
+        kernel = build_filter_kernel(flt)
+        if kernel is not None:
+            return kernel
+    return type(flt).access.__get__(flt, type(flt))

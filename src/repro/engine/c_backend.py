@@ -1,0 +1,387 @@
+"""Optional C backend for the Auto-Cuckoo filter kernel.
+
+The Query/kick-walk is the half of the access/filter pair that is pure
+integer arithmetic over small fixed-size tables, which makes it the
+natural first target for compilation: ``REPRO_ENGINE=c`` routes every
+filter Access through a cffi-compiled C implementation whose state
+(fingerprint rows, Security counters, the ``_alt_xor`` table, the LCG)
+lives in flat C arrays.  The arithmetic is a line-for-line port of
+``AutoCuckooFilter.access``/``_insert_new`` in exact uint64, so results
+are bit-identical — the golden-trace conformance suite replays the
+full scenario matrix against it.  (The cache-walk half of the pair
+stays in the specialized Python kernel: its state is Python dicts
+shared with every generic path, and the conformance gate prices any
+C port of it at a full storage rewrite — see PERFORMANCE.md.)
+
+The extension is **built lazily at first use** and cached under
+``~/.cache/repro-engine`` (override with ``REPRO_ENGINE_CACHE``); when
+cffi or a C toolchain is missing the build fails quietly and callers
+fall back to the specialized Python kernel — the ``c`` engine degrades,
+it never breaks.  Workers in a fork/spawn pool reuse the on-disk
+artefact, so kernels rebuild cleanly across process boundaries.
+
+State-consistency contract with the Python object: once
+:func:`install` succeeds, *all* accesses go through C (``access`` and
+``access_many`` are rebound on the instance).  The scalar counters
+(``valid_count``, ``autonomic_deletions``, ``total_relocations``,
+``_lcg``) only change on insertions, so they are synced back exactly
+when an Access returns 0 (a Response of 0 *is* a fresh insertion);
+``total_accesses`` is kept on the Python side.  The fingerprint and
+Security rows are materialised back into ``_fps``/``_security`` on
+demand by introspection (``AutoCuckooFilter._sync_rows_from_c``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+_U64 = (1 << 64) - 1
+
+_CDEF = """
+typedef struct {
+    uint16_t *fps;
+    uint8_t *security;
+    uint32_t *alt_xor;
+    uint64_t lcg;
+    uint64_t fp_add;
+    uint64_t index_add;
+    uint32_t index_mask;
+    uint32_t fp_mask;
+    uint32_t entries_per_bucket;
+    uint32_t slot_mask;
+    uint32_t has_slot_mask;
+    uint32_t max_kicks;
+    uint32_t threshold;
+    uint64_t valid_count;
+    uint64_t autonomic_deletions;
+    uint64_t total_relocations;
+} acf_state;
+
+int acf_access(acf_state *st, uint64_t key);
+uint64_t acf_access_many(acf_state *st, const uint64_t *keys, uint64_t n);
+"""
+
+_CSOURCE = """
+#include <stdint.h>
+#include <stddef.h>
+
+typedef struct {
+    uint16_t *fps;
+    uint8_t *security;
+    uint32_t *alt_xor;
+    uint64_t lcg;
+    uint64_t fp_add;
+    uint64_t index_add;
+    uint32_t index_mask;
+    uint32_t fp_mask;
+    uint32_t entries_per_bucket;
+    uint32_t slot_mask;
+    uint32_t has_slot_mask;
+    uint32_t max_kicks;
+    uint32_t threshold;
+    uint64_t valid_count;
+    uint64_t autonomic_deletions;
+    uint64_t total_relocations;
+} acf_state;
+
+/* splitmix64 finisher — identical constants to repro.utils.bitops. */
+static inline uint64_t acf_mix(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+int acf_access(acf_state *st, uint64_t key)
+{
+    const uint32_t b = st->entries_per_bucket;
+    uint64_t z = acf_mix(key + st->fp_add);
+    uint32_t fp = (uint32_t)(z & st->fp_mask);
+    if (!fp)
+        fp = st->fp_mask;
+    uint32_t i1 = (uint32_t)(acf_mix(key + st->index_add) & st->index_mask);
+    uint32_t index = i1;
+    uint16_t *row = st->fps + (size_t)i1 * b;
+    int slot = -1;
+    for (uint32_t s = 0; s < b; s++)
+        if (row[s] == fp) { slot = (int)s; break; }
+    uint32_t i2 = i1 ^ st->alt_xor[fp];
+    if (slot < 0) {
+        index = i2;
+        row = st->fps + (size_t)i2 * b;
+        for (uint32_t s = 0; s < b; s++)
+            if (row[s] == fp) { slot = (int)s; break; }
+    }
+    if (slot >= 0) {
+        uint8_t *sec = st->security + (size_t)index * b + (size_t)slot;
+        uint8_t v = *sec;
+        if (v < st->threshold) {
+            v++;
+            *sec = v;
+        }
+        return (int)v;
+    }
+
+    /* Miss: _insert_new (never fails; autonomic deletion at MNK). */
+    uint32_t vidx = i1;
+    row = st->fps + (size_t)i1 * b;
+    slot = -1;
+    for (uint32_t s = 0; s < b; s++)
+        if (row[s] == 0) { slot = (int)s; break; }
+    if (slot < 0) {
+        vidx = i2;
+        row = st->fps + (size_t)i2 * b;
+        for (uint32_t s = 0; s < b; s++)
+            if (row[s] == 0) { slot = (int)s; break; }
+    }
+    if (slot >= 0) {
+        st->fps[(size_t)vidx * b + (size_t)slot] = (uint16_t)fp;
+        st->security[(size_t)vidx * b + (size_t)slot] = 0;
+        st->valid_count++;
+        return 0;
+    }
+
+    uint64_t state = st->lcg;
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    uint32_t kidx = (state >> 63) ? i1 : i2;
+    uint32_t carried_fp = fp;
+    uint8_t carried_sec = 0;
+    uint32_t rel = 0;
+    for (;;) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        uint32_t kslot = st->has_slot_mask
+            ? (uint32_t)((state >> 33) & st->slot_mask)
+            : (uint32_t)((state >> 33) % b);
+        uint16_t *krow = st->fps + (size_t)kidx * b;
+        uint8_t *ksec = st->security + (size_t)kidx * b;
+        uint16_t tf = krow[kslot];
+        krow[kslot] = (uint16_t)carried_fp;
+        carried_fp = tf;
+        uint8_t ts = ksec[kslot];
+        ksec[kslot] = carried_sec;
+        carried_sec = ts;
+        if (rel == st->max_kicks) {
+            st->autonomic_deletions++;
+            st->total_relocations += rel;
+            st->lcg = state;
+            return 0;
+        }
+        rel++;
+        kidx ^= st->alt_xor[carried_fp];
+        krow = st->fps + (size_t)kidx * b;
+        int empty = -1;
+        for (uint32_t s = 0; s < b; s++)
+            if (krow[s] == 0) { empty = (int)s; break; }
+        if (empty < 0)
+            continue;
+        krow[empty] = (uint16_t)carried_fp;
+        st->security[(size_t)kidx * b + (size_t)empty] = carried_sec;
+        st->valid_count++;
+        st->total_relocations += rel;
+        st->lcg = state;
+        return 0;
+    }
+}
+
+uint64_t acf_access_many(acf_state *st, const uint64_t *keys, uint64_t n)
+{
+    uint64_t captures = 0;
+    const int threshold = (int)st->threshold;
+    for (uint64_t i = 0; i < n; i++)
+        if (acf_access(st, keys[i]) >= threshold)
+            captures++;
+    return captures;
+}
+"""
+
+_MODULE_NAME = "_repro_acf"
+
+#: (ffi, lib) once built/loaded; False after a failed attempt (so a
+#: missing toolchain is probed exactly once per process).
+_LIB: object = None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_ENGINE_CACHE", "")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-engine"
+
+
+def _load_lib():
+    """Build (or load the cached build of) the extension; returns the
+    ``(ffi, lib)`` pair or None when cffi/toolchain are unavailable."""
+    global _LIB
+    if _LIB is not None:
+        return _LIB if _LIB is not False else None
+    try:
+        import importlib.util
+
+        from cffi import FFI
+
+        tag = hashlib.sha256(
+            (_CDEF + _CSOURCE).encode()
+        ).hexdigest()[:16]
+        cache = _cache_dir() / tag
+        ffibuilder = FFI()
+        ffibuilder.cdef(_CDEF)
+        ffibuilder.set_source(_MODULE_NAME, _CSOURCE)
+        sofile = next(cache.glob(f"{_MODULE_NAME}*.so"), None)
+        if sofile is None:
+            # Build in a private tempdir *on the cache filesystem*
+            # (an os.replace across filesystems raises EXDEV and would
+            # leave the cache forever empty), then publish atomically
+            # so concurrent fork/spawn workers never observe a
+            # half-built artefact (whoever renames first wins; losers
+            # reuse it).
+            cache.mkdir(parents=True, exist_ok=True)
+            tmp = tempfile.mkdtemp(prefix="build-", dir=cache)
+            try:
+                built = Path(ffibuilder.compile(tmpdir=tmp))
+                target = cache / built.name
+                if not target.exists():
+                    try:
+                        os.replace(built, target)
+                    except OSError:
+                        try:
+                            shutil.copy2(built, target)
+                        except OSError:
+                            pass
+                sofile = target if target.exists() else built
+                if sofile == built:
+                    # Could not publish: load in place before cleanup.
+                    spec = importlib.util.spec_from_file_location(
+                        _MODULE_NAME, sofile
+                    )
+                    mod = importlib.util.module_from_spec(spec)
+                    spec.loader.exec_module(mod)
+                    _LIB = (mod.ffi, mod.lib)
+                    return _LIB
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+        spec = importlib.util.spec_from_file_location(_MODULE_NAME, sofile)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        _LIB = (mod.ffi, mod.lib)
+    except Exception:
+        _LIB = False
+        return None
+    return _LIB
+
+
+def available() -> bool:
+    """True when the C backend can be (or already was) built."""
+    return _load_lib() is not None
+
+
+class CFilterState:
+    """Owner of one filter's C-side arrays (keeps cffi buffers alive)."""
+
+    __slots__ = ("ffi", "lib", "st", "_fps_buf", "_sec_buf", "_alt_buf")
+
+    def __init__(self, ffi, lib, flt):
+        self.ffi = ffi
+        self.lib = lib
+        l, b = flt.num_buckets, flt.entries_per_bucket
+        flat_fps = [fp for row in flt._fps for fp in row]
+        flat_sec = [s for row in flt._security for s in row]
+        self._fps_buf = ffi.new("uint16_t[]", flat_fps)
+        self._sec_buf = ffi.new("uint8_t[]", flat_sec)
+        self._alt_buf = ffi.new("uint32_t[]", flt._alt_xor)
+        st = ffi.new("acf_state *")
+        st.fps = self._fps_buf
+        st.security = self._sec_buf
+        st.alt_xor = self._alt_buf
+        st.lcg = flt._lcg
+        st.fp_add = flt._fp_add
+        st.index_add = flt._index_add
+        st.index_mask = flt._index_mask
+        st.fp_mask = flt.hasher._fp_mask
+        st.entries_per_bucket = b
+        st.slot_mask = flt._slot_mask if flt._slot_mask is not None else 0
+        st.has_slot_mask = 1 if flt._slot_mask is not None else 0
+        st.max_kicks = flt.max_kicks
+        st.threshold = flt.security_threshold
+        st.valid_count = flt.valid_count
+        st.autonomic_deletions = flt.autonomic_deletions
+        st.total_relocations = flt.total_relocations
+        self.st = st
+
+    def rows(self, num_buckets: int, entries_per_bucket: int):
+        """Materialise (fps, security) back as lists-of-lists."""
+        b = entries_per_bucket
+        flat_fps = list(self._fps_buf)
+        flat_sec = list(self._sec_buf)
+        fps = [flat_fps[i * b:(i + 1) * b] for i in range(num_buckets)]
+        sec = [flat_sec[i * b:(i + 1) * b] for i in range(num_buckets)]
+        return fps, sec
+
+
+def install(flt) -> bool:
+    """Route all of ``flt``'s accesses through the C kernel.
+
+    Copies the current table into C arrays and rebinds ``access`` /
+    ``access_many`` on the *instance*; returns False (leaving the
+    filter untouched) when the filter is ineligible (instrumented,
+    wide fingerprints) or the extension cannot be built.  Idempotent.
+    """
+    if getattr(flt, "_c_state", None) is not None:
+        return True
+    if flt.instrumented or flt._alt_xor is None:
+        return False
+    if getattr(flt, "_kernel_issued", False):
+        # A specialized Python kernel already closed over this
+        # filter's rows; moving the authoritative state into C now
+        # would let that live closure silently fork the table.  The
+        # filter stays on the (consistent) Python engines instead.
+        return False
+    pair = _load_lib()
+    if pair is None:
+        return False
+    ffi, lib = pair
+    state = CFilterState(ffi, lib, flt)
+    st = state.st
+    c_access = lib.acf_access
+    c_access_many = lib.acf_access_many
+    u64_new = ffi.new
+
+    def access(key, _c=c_access, _st=st, _flt=flt, _u64=_U64):
+        r = _c(_st, key & _u64)
+        _flt.total_accesses += 1
+        if r == 0:
+            # A Response of 0 is exactly a fresh insertion — the only
+            # event that moves the insert-side counters.
+            _flt.valid_count = _st.valid_count
+            _flt.autonomic_deletions = _st.autonomic_deletions
+            _flt.total_relocations = _st.total_relocations
+            _flt._lcg = _st.lcg
+        return r
+
+    def access_many(keys, _c=c_access_many, _st=st, _flt=flt, _u64=_U64):
+        key_list = [k & _u64 for k in keys]
+        buf = u64_new("uint64_t[]", key_list)
+        captures = _c(_st, buf, len(key_list))
+        _flt.total_accesses += len(key_list)
+        _flt.valid_count = _st.valid_count
+        _flt.autonomic_deletions = _st.autonomic_deletions
+        _flt.total_relocations = _st.total_relocations
+        _flt._lcg = _st.lcg
+        return captures
+
+    flt._c_state = state
+    flt.access = access
+    flt.access_many = access_many
+    # Hit-path reads that consult the Python rows must resync first.
+    for name in ("contains", "security_of", "entries", "bucket"):
+        bound = getattr(flt, name)
+
+        def synced(*args, _bound=bound, _flt=flt, **kwargs):
+            _flt._sync_rows_from_c()
+            return _bound(*args, **kwargs)
+
+        setattr(flt, name, synced)
+    return True

@@ -1,0 +1,822 @@
+"""Runtime kernel generator: per-config specialized access kernels.
+
+Given one concrete ``CacheHierarchy`` (geometry, latencies, replacement
+policies, memory model) plus its attached monitor, this module *emits
+Python source* for a single fused function covering the per-event hot
+path — the L1-hit → miss → fill/evict → filter access chain — and
+``exec``-compiles it:
+
+* every configuration value (set masks, ways, latencies, slice-hash
+  shifts, fingerprint mixes, the pEvict threshold) is baked in as a
+  **literal**, so the kernel re-checks nothing per event;
+* every stable object (the per-core word maps, the LLC slices, the
+  stats block, the filter rows, the ``_alt_xor`` table) is bound as a
+  **keyword-only default**, so inside the kernel each is one
+  ``LOAD_FAST`` instead of an attribute chain;
+* every branch the configuration decides is **resolved at build time**:
+  LRU stamping compiles to a plain dict store with no policy dispatch,
+  a monitor-less hierarchy compiles a miss path with no hook sites at
+  all (the ``none``/monitor-free defences), PiPoMonitor compiles the
+  whole Auto-Cuckoo Query/kick-walk *inline* into the miss path, and
+  the flat-latency DRAM mode compiles the channel arithmetic inline.
+
+The generated code is a line-for-line specialization of
+``CacheHierarchy.access`` and the helpers it fuses
+(``_serve_llc_hit``, ``_fill_private``, ``_fill_l1``,
+``_fetch_into_llc``, ``_handle_llc_eviction``, ``_mark_written``,
+``AutoCuckooFilter.access``/``_insert_new``) — rare coherence actions
+(S→M upgrades, cross-core dirty forwards, sharer scrubs, ``clflush``)
+still call the hierarchy's own methods, so behaviour is shared by
+construction there.  Everything mutates the *same* dicts, stamps, and
+counters as the generic engine, which is what lets the golden-trace
+conformance suite assert bit-identical results and lets generic paths
+(monitor prefetch fills, flushes, introspection) interleave freely
+with kernel execution.
+
+Factories are cached by generated source, so an experiment grid that
+builds hundreds of identically-configured hierarchies compiles the
+kernel once; workers in a fork/spawn pool rebuild lazily from the same
+deterministic source.  Unsupported configurations (custom replacement
+policies without the array-native protocol, wide fingerprints,
+instrumented filters) return ``None`` and the caller falls back to the
+generic engine — specialization is an optimisation, never a
+requirement.
+"""
+
+from __future__ import annotations
+
+from string import Template
+
+from repro.cache.line import (
+    DIRTY,
+    SHARERS_BITS,
+    SHARERS_SHIFT,
+    STATE_MASK,
+    STATE_SHIFT,
+    VERSION_BELOW,
+    VERSION_SHIFT,
+)
+from repro.cache.llc import SLICE_MULT, U64_MASK
+
+_SMASK = (1 << SHARERS_BITS) - 1
+_SHARERS_FIELD = _SMASK << SHARERS_SHIFT
+#: ``vword & _VBNSF`` drops sharers + dirty, keeps flags/state (the
+#: exact mask ``_handle_llc_eviction`` applies after a sharer scrub).
+_VBNSF = VERSION_BELOW & ~_SHARERS_FIELD & ~DIRTY
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+
+#: source → exec'd ``make_kernel`` factory (the spec is fully encoded
+#: in the source text, so the text is the cache key).
+_FACTORY_CACHE: dict[str, object] = {}
+
+
+def _ind(block: str, spaces: int) -> str:
+    """Indent every non-empty line of ``block`` by ``spaces``."""
+    pad = " " * spaces
+    return "\n".join(
+        pad + line if line else line for line in block.splitlines()
+    )
+
+
+# ----------------------------------------------------------------------
+# Filter access emitter (shared by the inline-monitor block and the
+# standalone filter kernel)
+# ----------------------------------------------------------------------
+
+def filter_subs(flt) -> dict:
+    """Literal substitutions for one Auto-Cuckoo filter's Query/insert
+    arithmetic (bit-identical to ``AutoCuckooFilter.access``)."""
+    slot_mask = flt._slot_mask
+    return {
+        "FPADD": flt._fp_add,
+        "IXADD": flt._index_add,
+        "FPMASK": flt.hasher._fp_mask,
+        "IXMASK": flt._index_mask,
+        "THRESH": flt.security_threshold,
+        "MNK": flt.max_kicks,
+        "M1": 0xBF58476D1CE4E5B9,
+        "M2": 0x94D049BB133111EB,
+        "U64": U64_MASK,
+        "LCGM": _LCG_MULT,
+        "LCGI": _LCG_INC,
+        "MEMO_CAP": MEMO_CAP,
+        "SLOTPICK": (
+            f"(f_st >> 33) & {slot_mask}"
+            if slot_mask is not None
+            else f"(f_st >> 33) % {flt.entries_per_bucket}"
+        ),
+    }
+
+
+def filter_supported(flt) -> bool:
+    """Can this filter's access be compiled inline?  Requires the
+    ``_alt_xor`` table (f <= 16) and no instrumentation shadow maps."""
+    return (
+        type(flt).__name__ == "AutoCuckooFilter"
+        and flt._alt_xor is not None
+        and not flt.instrumented
+    )
+
+
+#: Hash-memo size cap: (fp, i1) pairs are pure functions of the key
+#: and the filter seeds, so memoising them is semantically invisible.
+#: The cap trades coverage against flood overhead: a repeated key
+#: repays ~0.8 µs (two splitmix chains), a never-repeated key costs a
+#: failed probe plus a store.  32k entries (~3 MB worst case) covers
+#: 4× the Table II filter's reach — the working sets that actually
+#: re-access lines — while keeping the clear-when-full wholesale (no
+#: per-entry eviction bookkeeping on the hot path).
+MEMO_CAP = 32768
+
+#: The fused Query + autonomic-insert block.  ``$KEY`` is the key
+#: expression; ``$HIT`` / ``$FRESH`` are the tails for the hit and the
+#: fresh-insert outcomes (a ``return`` for the standalone kernel, a
+#: ``captured`` assignment for the inline-monitor form).  ``f_sec``
+#: holds the post-access Security value on the hit path.
+_FILTER_BLOCK = Template("""\
+flt.total_accesses += 1
+f_v = memo_get($KEY)
+if f_v is None:
+    f_z = ($KEY + $FPADD) & $U64
+    f_z = ((f_z ^ (f_z >> 30)) * $M1) & $U64
+    f_z = ((f_z ^ (f_z >> 27)) * $M2) & $U64
+    f_fp = (f_z ^ (f_z >> 31)) & $FPMASK
+    if not f_fp:
+        f_fp = $FPMASK
+    f_z = ($KEY + $IXADD) & $U64
+    f_z = ((f_z ^ (f_z >> 30)) * $M1) & $U64
+    f_z = ((f_z ^ (f_z >> 27)) * $M2) & $U64
+    f_i1 = (f_z ^ (f_z >> 31)) & $IXMASK
+    if len(memo) >= $MEMO_CAP:
+        memo.clear()
+    # Packed as one int: ints are not GC-tracked containers, so the
+    # memo adds no cyclic-collector pressure (tuples would).
+    memo[$KEY] = f_fp << 32 | f_i1
+else:
+    f_fp = f_v >> 32
+    f_i1 = f_v & 4294967295
+f_row = fps[f_i1]
+if f_fp in f_row:
+    f_idx = f_i1
+    f_hit = True
+else:
+    f_idx = f_i1 ^ alt_xor[f_fp]
+    f_row = fps[f_idx]
+    f_hit = f_fp in f_row
+if f_hit:
+    f_slot = f_row.index(f_fp)
+    f_secrow = security[f_idx]
+    f_sec = f_secrow[f_slot]
+    if f_sec < $THRESH:
+        f_sec += 1
+        f_secrow[f_slot] = f_sec
+$HIT
+else:
+    # --- miss: fused _insert_new (never fails; autonomic delete) ---
+    f_vrow = fps[f_i1]
+    if 0 in f_vrow:
+        f_vidx = f_i1
+    elif 0 in f_row:
+        f_vrow = f_row
+        f_vidx = f_idx
+    else:
+        f_vidx = -1
+    if f_vidx >= 0:
+        f_slot = f_vrow.index(0)
+        f_vrow[f_slot] = f_fp
+        security[f_vidx][f_slot] = 0
+        flt.valid_count += 1
+    else:
+        f_st = flt._lcg
+        f_st = (f_st * $LCGM + $LCGI) & $U64
+        f_kidx = f_i1 if f_st >> 63 else f_idx
+        f_cfp = f_fp
+        f_csec = 0
+        f_rel = 0
+        while True:
+            f_st = (f_st * $LCGM + $LCGI) & $U64
+            f_slot = $SLOTPICK
+            f_row = fps[f_kidx]
+            f_secrow = security[f_kidx]
+            f_cfp, f_row[f_slot] = f_row[f_slot], f_cfp
+            f_csec, f_secrow[f_slot] = f_secrow[f_slot], f_csec
+            if f_rel == $MNK:
+                flt.autonomic_deletions += 1
+                flt.total_relocations += f_rel
+                flt._lcg = f_st
+                break
+            f_rel += 1
+            f_kidx ^= alt_xor[f_cfp]
+            f_row = fps[f_kidx]
+            if 0 not in f_row:
+                continue
+            f_slot = f_row.index(0)
+            f_row[f_slot] = f_cfp
+            security[f_kidx][f_slot] = f_csec
+            flt.valid_count += 1
+            flt.total_relocations += f_rel
+            flt._lcg = f_st
+            break
+$FRESH
+""")
+
+
+_FILTER_KERNEL_TEMPLATE = Template("""\
+def make_filter_kernel(flt):
+    memo = flt._hash_memo
+    # Positional (not keyword-only) defaults: CPython fills them with
+    # one tuple copy per call, where keyword-only defaults cost a dict
+    # lookup each — measurably slower at one call per event.
+    def access(key, flt=flt, fps=flt._fps, security=flt._security,
+               alt_xor=flt._alt_xor, memo=memo, memo_get=memo.get):
+$BODY
+    return access
+""")
+
+
+def build_filter_kernel(flt):
+    """Compile a standalone fused ``access(key) -> Response`` for one
+    filter, or None when the filter cannot be specialized."""
+    if not filter_supported(flt):
+        return None
+    # Mark the rows as captured by a live closure: from here on the C
+    # backend must refuse this filter (install after issue would fork
+    # the authoritative state between the lists and the C arrays).
+    flt._kernel_issued = True
+    subs = filter_subs(flt)
+    body = _FILTER_BLOCK.substitute(
+        subs,
+        KEY="key",
+        HIT=_ind("    return f_sec", 0),
+        FRESH=_ind("    return 0", 0),
+    )
+    source = _FILTER_KERNEL_TEMPLATE.substitute(BODY=_ind(body, 8))
+    factory = _FACTORY_CACHE.get(source)
+    if factory is None:
+        namespace: dict = {}
+        exec(compile(source, "<repro-engine-filter-kernel>", "exec"), namespace)
+        factory = namespace["make_filter_kernel"]
+        _FACTORY_CACHE[source] = factory
+    return factory(flt)
+
+
+# ----------------------------------------------------------------------
+# The hierarchy access kernel
+# ----------------------------------------------------------------------
+
+#: The inlined ``_fill_private`` (+ ``_mark_written`` for writes).
+#: Expects ``state``, ``sl``/``slmap``/``si``, ``l1``/``l1map``,
+#: ``l2``/``l2map`` bound; leaves the filled line stamped in L1/L2 and
+#: the directory presence bit set.
+_FILL_PRIVATE = Template("""\
+llc_word = slmap[line_addr]
+base = ((llc_word >> $VS) << $VS) | (state << $SSH)
+cache_set = l2._sets[line_addr & $L2MASK]
+vaddr = None
+if len(cache_set) >= $L2WAYS:
+    vaddr = min(cache_set, key=cache_set.__getitem__)
+    del cache_set[vaddr]
+    vword = l2map.pop(vaddr)
+    l2.evictions += 1
+stamp = l2._stamp + 1
+l2._stamp = stamp
+cache_set[line_addr] = stamp
+l2map[line_addr] = base
+if vaddr is not None:
+    # L2 eviction: purge L1 copies, write back into the LLC word,
+    # release the directory presence bit.
+    stats.l2_evictions += 1
+    dirty = vword & 1
+    version = vword >> $VS
+    for l1c in (l1ds[core], l1is[core]):
+        wv = l1c._map.pop(vaddr, None)
+        if wv is not None:
+            del l1c._sets[vaddr & $L1MASK][vaddr]
+            if wv & 1:
+                v = wv >> $VS
+                if v > version:
+                    version = v
+                dirty = 1
+    lmap2 = slices[
+        ((vaddr >> $SETBITS) * $SMULT & $U64) >> $SLICESHIFT
+    ]._map
+    lw2 = lmap2.get(vaddr)
+    if lw2 is None:
+        raise CV(
+            f"inclusion broken: L2 victim {vaddr:#x} absent from LLC"
+        )
+    if dirty:
+        if version > (lw2 >> $VS):
+            lw2 = (lw2 & $VB) | (version << $VS)
+        lw2 |= 1
+    lmap2[vaddr] = lw2 & ~(1 << (core + $SS))
+cache_set = l1._sets[line_addr & $L1MASK]
+vaddr = None
+if len(cache_set) >= $L1WAYS:
+    vaddr = min(cache_set, key=cache_set.__getitem__)
+    del cache_set[vaddr]
+    vword = l1map.pop(vaddr)
+    l1.evictions += 1
+stamp = l1._stamp + 1
+l1._stamp = stamp
+cache_set[line_addr] = stamp
+l1map[line_addr] = base
+if vaddr is not None and vword & 1:
+    w2 = l2map.get(vaddr)
+    if w2 is not None:
+        v = vword >> $VS
+        if v > (w2 >> $VS):
+            w2 = (w2 & $VB) | (v << $VS)
+        l2map[vaddr] = w2 | 1
+slmap[line_addr] = llc_word | (1 << (core + $SS))
+if op == 1:
+    wc = h._write_counter + 1
+    h._write_counter = wc
+    wm = l1map[line_addr]
+    l1map[line_addr] = (wm & $VB) | (wc << $VS) | 1
+""")
+
+
+_KERNEL_TEMPLATE = Template('''\
+from repro.cache.coherence import CoherenceViolation
+from repro.cache.line import CacheLine, CacheLineView
+
+
+def make_kernel(h, monitor):
+    """Bind one hierarchy's state into the specialized access kernel."""
+    stats = h.stats
+    # Miss-path bindings live as closure cells: a LOAD_DEREF costs a
+    # hair more than a LOAD_FAST per use, but cells are free at call
+    # time — and the L1-hit call is the case that dominates.
+    mc = h.mc
+    memver = h._memory_versions
+    svic = tuple(sl._victim_addr for sl in h._llc_slices)
+    flush_line = h._flush_core_line
+    inval = h._invalidate_other_sharers
+    scrub = h._scrub_core_copies
+    CV = CoherenceViolation
+    CLV = CacheLineView
+    from_packed = CacheLine.from_packed
+$VICTIM_PRELUDE
+$PRELUDE
+    # Hit-path bindings are positional defaults: CPython fills them
+    # with one tuple copy per call (keyword-only defaults would cost a
+    # dict lookup each), and inside the body each is a plain local.
+    # Callers pass at most (core, op, addr, now).
+    def access(core, op, addr, now=0,
+               h=h, stats=stats, per_core=stats.per_core_accesses,
+               l1ds=tuple(h.l1d), l1is=tuple(h.l1i), l2s=tuple(h.l2),
+               slices=tuple(h._llc_slices),
+               write_hit=h._write_hit, clflush=h.clflush):
+        line_addr = addr >> $LB
+        if op == 0:  # OP_READ
+            l1 = l1ds[core]
+            l1map = l1._map
+            if line_addr in l1map:
+                l1.hits += 1
+                stamp = l1._stamp + 1
+                l1._stamp = stamp
+                l1._sets[line_addr & $L1MASK][line_addr] = stamp
+                stats.l1_hits += 1
+                stats.total_latency += $L1LAT
+                per_core[core] += 1
+                return $L1LAT
+        else:
+            if op == 3:  # OP_FLUSH — generic service path
+                return clflush(core, addr, now)
+            l1 = (l1is if op == 2 else l1ds)[core]
+            l1map = l1._map
+            w = l1map.get(line_addr)
+            if w is not None:
+                latency = $L1LAT
+                l1.hits += 1
+                stats.l1_hits += 1
+                if op == 1:  # OP_WRITE
+                    state = (w >> $SSH) & 3
+                    if state != 3:
+                        latency += write_hit(core, line_addr, state)
+                        w = l1map[line_addr]
+                    wc = h._write_counter + 1
+                    h._write_counter = wc
+                    l1map[line_addr] = (w & $VB) | (wc << $VS) | 1
+                    stats.writes += 1
+                else:
+                    stats.ifetches += 1
+                stamp = l1._stamp + 1
+                l1._stamp = stamp
+                l1._sets[line_addr & $L1MASK][line_addr] = stamp
+                stats.total_latency += latency
+                per_core[core] += 1
+                return latency
+        l1.misses += 1
+        stats.l1_misses += 1
+
+        # ---- L2 ----
+        l2 = l2s[core]
+        l2map = l2._map
+        w = l2map.get(line_addr)
+        if w is not None:
+            latency = $L12LAT
+            l2.hits += 1
+            stats.l2_hits += 1
+            if op == 1:
+                latency += write_hit(core, line_addr, (w >> $SSH) & 3)
+                w = l2map[line_addr]
+            # Inlined _fill_l1 (LRU fast path + dirty-victim writeback).
+            base = ((w >> $VS) << $VS) | (((w >> $SSH) & 3) << $SSH)
+            cache_set = l1._sets[line_addr & $L1MASK]
+            vaddr = None
+            if len(cache_set) >= $L1WAYS:
+                vaddr = min(cache_set, key=cache_set.__getitem__)
+                del cache_set[vaddr]
+                vword = l1map.pop(vaddr)
+                l1.evictions += 1
+            stamp = l1._stamp + 1
+            l1._stamp = stamp
+            cache_set[line_addr] = stamp
+            l1map[line_addr] = base
+            if vaddr is not None and vword & 1:
+                w2 = l2map.get(vaddr)
+                if w2 is not None:
+                    v = vword >> $VS
+                    if v > (w2 >> $VS):
+                        w2 = (w2 & $VB) | (v << $VS)
+                    l2map[vaddr] = w2 | 1
+            if op == 1:
+                wc = h._write_counter + 1
+                h._write_counter = wc
+                wm = l1map[line_addr]
+                l1map[line_addr] = (wm & $VB) | (wc << $VS) | 1
+            stamp = l2._stamp + 1
+            l2._stamp = stamp
+            l2._sets[line_addr & $L2MASK][line_addr] = stamp
+            stats.total_latency += latency
+            if op == 1:
+                stats.writes += 1
+            elif op == 2:
+                stats.ifetches += 1
+            per_core[core] += 1
+            return latency
+        l2.misses += 1
+        stats.l2_misses += 1
+
+        # ---- LLC ----
+        si = ((line_addr >> $SETBITS) * $SMULT & $U64) >> $SLICESHIFT
+        sl = slices[si]
+        slmap = sl._map
+        lw = slmap.get(line_addr)
+        if lw is not None:
+            latency = $L123LAT
+            stats.llc_hits += 1
+            # Inlined _serve_llc_hit.
+            others = ((lw >> $SS) & $SMASK) & ~(1 << core)
+            if others:
+                m = others
+                while m:
+                    low = m & -m
+                    m ^= low
+                    if flush_line(low.bit_length() - 1, line_addr, sl):
+                        latency += $DFP
+                        stats.dirty_forwards += 1
+                if op == 1:
+                    inval(core, line_addr, sl)
+                    state = 3
+                else:
+                    state = 1
+                lw = slmap[line_addr]
+            else:
+                state = 3 if op == 1 else 2
+            if lw & 2:
+                slmap[line_addr] = lw | 4
+$FILL_PRIVATE_HIT
+            stamp = sl._stamp + 1
+            sl._stamp = stamp
+$LLC_TOUCH
+            if op == 1:
+                stats.writes += 1
+            elif op == 2:
+                stats.ifetches += 1
+            stats.total_latency += latency
+            per_core[core] += 1
+            return latency
+        stats.llc_misses += 1
+
+        # ---- Memory (inlined _fetch_into_llc, demand fetch) ----
+        t = now + $L123LAT
+$ON_ACCESS
+$MEM_FETCH
+        version = memver.get(line_addr, 0)
+        base = $FILL_BASE
+        cache_set = sl._sets[line_addr & $SLMASK]
+        vaddr = None
+        if len(cache_set) >= $SLWAYS:
+$LLC_VICTIM
+            vstamp = cache_set.pop(vaddr)
+            vword = slmap.pop(vaddr)
+            sl.evictions += 1
+        stamp = sl._stamp + 1
+        sl._stamp = stamp
+        cache_set[line_addr] = stamp
+        slmap[line_addr] = base
+        if vaddr is not None:
+            # Inlined _handle_llc_eviction.
+            stats.llc_evictions += 1
+$EVICT_HOOK
+            sharers = (vword >> $SS) & $SMASK
+            if sharers:
+                dirty = vword & 1
+                version2 = vword >> $VS
+                m = sharers
+                while m:
+                    low = m & -m
+                    m ^= low
+                    d, v = scrub(low.bit_length() - 1, vaddr)
+                    stats.back_invalidations += 1
+                    if d:
+                        dirty = 1
+                        if v > version2:
+                            version2 = v
+                vword = (vword & $VBNSF) | dirty | (version2 << $VS)
+            if vword & 1:
+                mc.writeback(vaddr << $LB, t)
+                memver[vaddr] = vword >> $VS
+                stats.writebacks_to_memory += 1
+        state = 3 if op == 1 else 2
+$FILL_PRIVATE_MISS
+        if op == 1:
+            stats.writes += 1
+        elif op == 2:
+            stats.ifetches += 1
+        stats.total_latency += latency
+        per_core[core] += 1
+        return latency
+
+    return access
+''')
+
+
+def _monitor_kind(monitor, engine: str) -> str:
+    """Classify the monitor for specialization (build-time only)."""
+    if monitor is None:
+        return "none"
+    if (
+        type(monitor).__name__ == "PiPoMonitor"
+        and not getattr(monitor, "needs_all_evictions", True)
+        and filter_supported(monitor.filter)
+    ):
+        if getattr(monitor.filter, "_c_state", None) is not None:
+            # The filter is already C-routed (one-way): its arrays are
+            # authoritative, so the kernel must keep calling through
+            # them whatever engine is selected now.
+            return "pipo_c"
+        if engine == "c":
+            from repro.engine import c_backend
+
+            if c_backend.install(monitor.filter):
+                return "pipo_c"
+        # The inline-Python kernel closes over the filter's rows —
+        # record that so a later C install (which would fork the
+        # authoritative state away from those rows) is refused.
+        monitor.filter._kernel_issued = True
+        return "pipo"
+    return "generic"
+
+
+def _supported(h) -> bool:
+    """Structural preconditions for the specialized kernel."""
+    private = [*h.l1d, *h.l1i, *h.l2]
+    if not all(
+        c._touch_stamps and c._insert_stamps and c._victim_is_min_stamp
+        for c in private
+    ):
+        return False
+    l1ref, l2ref = h.l1d[0], h.l2[0]
+    if not all(
+        c._set_mask == l1ref._set_mask and c.ways == l1ref.ways
+        for c in (*h.l1d, *h.l1i)
+    ):
+        return False
+    if not all(
+        c._set_mask == l2ref._set_mask and c.ways == l2ref.ways for c in h.l2
+    ):
+        return False
+    slices = h._llc_slices
+    slref = slices[0]
+    return all(
+        sl._insert_stamps
+        and (sl._victim_is_min_stamp or sl._victim_addr is not None)
+        and sl._victim_is_min_stamp == slref._victim_is_min_stamp
+        and sl._touch_stamps == slref._touch_stamps
+        and sl._set_mask == slref._set_mask
+        and sl.ways == slref.ways
+        for sl in slices
+    )
+
+
+def build_access_kernel(h, engine: str = "specialized"):
+    """Generate, compile, and bind the fused access kernel for one
+    hierarchy (+ its currently attached monitor).
+
+    Returns the kernel function, or None when this configuration
+    cannot be specialized (the caller falls back to the generic
+    ``CacheHierarchy.access``).
+    """
+    if not _supported(h):
+        return None
+    monitor = h.monitor
+    kind = _monitor_kind(monitor, engine)
+
+    slices = h._llc_slices
+    slref = slices[0]
+    subs = {
+        "LB": h._line_bits,
+        "L1LAT": h.l1_latency,
+        "L12LAT": h.l1_latency + h.l2_latency,
+        "L123LAT": h.l1_latency + h.l2_latency + h.llc_latency,
+        "DFP": h.dirty_forward_penalty,
+        "L1MASK": h.l1d[0]._set_mask,
+        "L2MASK": h.l2[0]._set_mask,
+        "L1WAYS": h.l1d[0].ways,
+        "L2WAYS": h.l2[0].ways,
+        "SLMASK": slref._set_mask,
+        "SLWAYS": slref.ways,
+        "SETBITS": h._llc_set_bits,
+        "SLICESHIFT": h._llc_slice_shift,
+        "SMULT": SLICE_MULT,
+        "U64": U64_MASK,
+        "VS": VERSION_SHIFT,
+        "SS": SHARERS_SHIFT,
+        "SMASK": _SMASK,
+        "SSH": STATE_SHIFT,
+        "VB": VERSION_BELOW,
+        "VBNSF": _VBNSF,
+    }
+
+    fill_private = _FILL_PRIVATE.substitute(subs)
+    subs["FILL_PRIVATE_HIT"] = _ind(fill_private, 12)
+    subs["FILL_PRIVATE_MISS"] = _ind(fill_private, 8)
+
+    # LLC victim selection / recency update, resolved at build time.
+    victim_prelude = ""
+    if slref._victim_is_min_stamp:
+        llc_victim = "vaddr = min(cache_set, key=cache_set.__getitem__)"
+    else:
+        llc_victim = "vaddr = svic[si](cache_set)"
+        victim_prelude = ""
+        policy = slref.policy
+        pool = getattr(policy, "pool_size", None)
+        if (
+            type(policy).__name__ == "LruRandomPolicy"
+            and pool is not None
+            and all(
+                type(sl.policy).__name__ == "LruRandomPolicy"
+                and sl.policy.pool_size == pool
+                for sl in slices
+            )
+            and slref.ways >= pool
+        ):
+            # lru_rand fused: the set holds `ways >= pool_size` lines
+            # at eviction time, so the pool is always full and
+            # ``randrange(pool_size)`` reduces to the exact
+            # ``_randbelow_with_getrandbits`` draw sequence inlined —
+            # same Mersenne-Twister stream, no wrapper frames.
+            rbits = pool.bit_length()
+            llc_victim = (
+                "pool = sorted(cache_set, key=cache_set.__getitem__)"
+                f"[:{pool}]\n"
+                "g = srgb[si]\n"
+                f"r = g({rbits})\n"
+                f"while r >= {pool}:\n"
+                f"    r = g({rbits})\n"
+                "vaddr = pool[r]"
+            )
+            victim_prelude = (
+                "    srgb = tuple(sl.policy._rng.getrandbits"
+                " for sl in h._llc_slices)"
+            )
+    subs["VICTIM_PRELUDE"] = victim_prelude
+    subs["LLC_VICTIM"] = _ind(llc_victim, 12)
+    subs["LLC_TOUCH"] = _ind(
+        "sl._sets[line_addr & $SLMASK][line_addr] = stamp"
+        if slref._touch_stamps
+        else "sl.policy.on_touch(CLV(sl, line_addr), stamp)",
+        12,
+    ).replace("$SLMASK", str(slref._set_mask))
+
+    # Memory-channel arithmetic: flat-latency DRAM inlines the channel
+    # occupancy; the row-buffer model keeps the method call.
+    if not h.mc.dram.open_page:
+        subs["MEM_FETCH"] = _ind(
+            "free_at = mc._channel_free_at\n"
+            "start = t if t > free_at else free_at\n"
+            f"mc._channel_free_at = start + {h.mc.burst_cycles}\n"
+            "mc.total_queue_wait += start - t\n"
+            "mc.demand_fetches += 1\n"
+            f"latency = {subs['L123LAT']} + start - t + {h.mc.dram.latency}",
+            8,
+        )
+    else:
+        subs["MEM_FETCH"] = _ind(
+            f"latency = {subs['L123LAT']} + mc.fetch(line_addr << {h._line_bits}, t)",
+            8,
+        )
+
+    # Monitor specialization (bindings join the closure-cell prelude).
+    prelude = ""
+    evict_gated = (
+        "if vword & 2:\n"
+        "    victim = from_packed(vaddr, vword, vstamp)\n"
+        "    on_evict(victim, t)\n"
+        "    vword = victim.to_word()"
+    )
+    if kind == "none":
+        subs["ON_ACCESS"] = ""
+        subs["FILL_BASE"] = f"version << {VERSION_SHIFT}"
+        subs["EVICT_HOOK"] = _ind("pass", 12)
+    elif kind == "generic":
+        prelude = (
+            "    mon_access = monitor.on_access\n"
+            "    on_evict = monitor.on_llc_eviction"
+        )
+        subs["ON_ACCESS"] = _ind("captured = mon_access(line_addr, t)", 8)
+        subs["FILL_BASE"] = f"(version << {VERSION_SHIFT}) | (6 if captured else 0)"
+        needs_all = getattr(monitor, "needs_all_evictions", True)
+        subs["EVICT_HOOK"] = _ind(
+            evict_gated
+            if not needs_all
+            else (
+                "victim = from_packed(vaddr, vword, vstamp)\n"
+                "on_evict(victim, t)\n"
+                "vword = victim.to_word()"
+            ),
+            12,
+        )
+    elif kind == "pipo_c":
+        track = monitor.captured_lines is not None
+        prelude = (
+            "    mstats = monitor.stats\n"
+            "    c_access = monitor.filter.access\n"
+            "    on_evict = monitor.on_llc_eviction"
+        )
+        if track:
+            prelude += "\n    cap_lines = monitor.captured_lines"
+        thresh = monitor.filter.security_threshold
+        on_access = (
+            "mstats.accesses += 1\n"
+            f"if c_access(line_addr) >= {thresh}:\n"
+            "    mstats.captures += 1\n"
+            + ("    cap_lines.add(line_addr)\n" if track else "")
+            + "    captured = True\n"
+            "else:\n"
+            "    captured = False"
+        )
+        subs["ON_ACCESS"] = _ind(on_access, 8)
+        subs["FILL_BASE"] = f"(version << {VERSION_SHIFT}) | (6 if captured else 0)"
+        subs["EVICT_HOOK"] = _ind(evict_gated, 12)
+    else:  # pipo — full inline Query/kick-walk
+        track = monitor.captured_lines is not None
+        prelude = (
+            "    mstats = monitor.stats\n"
+            "    flt = monitor.filter\n"
+            "    fps = flt._fps\n"
+            "    security = flt._security\n"
+            "    alt_xor = flt._alt_xor\n"
+            "    memo = flt._hash_memo\n"
+            "    memo_get = memo.get\n"
+            "    on_evict = monitor.on_llc_eviction"
+        )
+        if track:
+            prelude += "\n    cap_lines = monitor.captured_lines"
+        fsubs = filter_subs(monitor.filter)
+        hit_tail = (
+            "    if f_sec >= {thresh}:\n"
+            "        mstats.captures += 1\n"
+            + ("        cap_lines.add(line_addr)\n" if track else "")
+            + "        captured = True\n"
+            "    else:\n"
+            "        captured = False"
+        ).format(thresh=fsubs["THRESH"])
+        filter_block = _FILTER_BLOCK.substitute(
+            fsubs,
+            KEY="line_addr",
+            HIT=hit_tail,
+            FRESH="    captured = False",
+        )
+        subs["ON_ACCESS"] = _ind(
+            "mstats.accesses += 1\n" + filter_block.rstrip("\n"), 8
+        )
+        subs["FILL_BASE"] = f"(version << {VERSION_SHIFT}) | (6 if captured else 0)"
+        subs["EVICT_HOOK"] = _ind(evict_gated, 12)
+
+    subs["PRELUDE"] = prelude
+
+    source = _KERNEL_TEMPLATE.substitute(subs)
+    factory = _FACTORY_CACHE.get(source)
+    if factory is None:
+        namespace: dict = {}
+        exec(compile(source, "<repro-engine-kernel>", "exec"), namespace)
+        factory = namespace["make_kernel"]
+        _FACTORY_CACHE[source] = factory
+    return factory(h, monitor)

@@ -63,9 +63,22 @@ def main(argv: list[str] | None = None) -> int:
              "(0 = one per CPU).  Precedence: this flag beats the "
              "REPRO_JOBS environment variable; unset falls back to it.",
     )
+    parser.add_argument(
+        "--engine", choices=("python", "specialized", "c"), default=None,
+        help="simulation engine (sets REPRO_ENGINE for this run and "
+             "its workers): 'python' = generic reference paths, "
+             "'specialized' = generated per-config kernels (default), "
+             "'c' = specialized + compiled Auto-Cuckoo kernel (falls "
+             "back when no toolchain).  Results are bit-identical "
+             "across engines.",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.engine is not None:
+        from repro.engine import set_engine
+
+        set_engine(args.engine)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()

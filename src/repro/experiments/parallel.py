@@ -81,7 +81,28 @@ def run_cells(
         "fork" if "fork" in methods else None
     )
     workers = min(jobs, len(cell_list))
-    with ctx.Pool(processes=workers) as pool:
+    # Behaviour-selecting REPRO_* variables are pinned explicitly in
+    # every worker: child processes inherit the environment anyway
+    # under fork, but an explicit initializer also covers spawn/
+    # forkserver and late in-process set_engine() calls.  Workers hold
+    # no kernel state — the engine kernels are generated per hierarchy
+    # inside each cell, so they rebuild cleanly from these variables
+    # alone.
+    pinned = {
+        key: value
+        for key, value in os.environ.items()
+        if key.startswith("REPRO_")
+    }
+    with ctx.Pool(
+        processes=workers,
+        initializer=_init_worker_env,
+        initargs=(pinned,),
+    ) as pool:
         # chunksize=1: cells are coarse (whole simulations), so plain
         # round-robin beats batching for load balance.
         return pool.map(fn, cell_list, chunksize=1)
+
+
+def _init_worker_env(pinned: dict) -> None:
+    """Worker initializer: replicate the parent's REPRO_* settings."""
+    os.environ.update(pinned)

@@ -196,6 +196,20 @@ class AutoCuckooFilter:
         self.autonomic_deletions = 0
         self.total_accesses = 0
         self.total_relocations = 0
+        # REPRO_ENGINE=c rebinds access/access_many on the instance and
+        # parks the authoritative table in C arrays here (see
+        # repro.engine.c_backend); None means the Python lists above
+        # are authoritative.  ``_kernel_issued`` records that a
+        # specialized Python kernel has closed over the row lists —
+        # after which a C install is refused (it would fork the
+        # authoritative state away from the live closure).
+        self._c_state = None
+        self._kernel_issued = False
+        # Key -> (fingerprint << 32 | primary index) memo for the
+        # specialized kernels: both are pure functions of the key and
+        # the seeds, so caching them is semantically invisible
+        # (size-capped; see repro.engine.specialize.MEMO_CAP).
+        self._hash_memo: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # The Query/Response protocol (Section IV)
@@ -439,6 +453,61 @@ class AutoCuckooFilter:
             self.total_relocations += relocations
             self._lcg = state
             return
+
+    # ------------------------------------------------------------------
+    # Engine seam
+    # ------------------------------------------------------------------
+
+    def engine_access(self):
+        """The per-Access entry point under the selected engine
+        (``REPRO_ENGINE``): the generic :meth:`access` for ``python``,
+        a generated fused closure for ``specialized``, the cffi kernel
+        for ``c`` — all bit-identical over this filter's state."""
+        from repro.engine import filter_access
+
+        return filter_access(self)
+
+    def use_c_backend(self) -> bool:
+        """Route this filter's accesses through the compiled C kernel.
+
+        Returns False (leaving the filter untouched) when the filter is
+        ineligible, no toolchain is available, or a specialized Python
+        kernel has already been issued for it (the install must happen
+        before any kernel closes over the row lists).  One-way and
+        idempotent: once installed, the C arrays are authoritative and
+        every entry point stays consistent with them.
+        """
+        from repro.engine import c_backend
+
+        return c_backend.install(self)
+
+    def _sync_rows_from_c(self) -> None:
+        """Refresh ``_fps``/``_security`` from the C arrays (no-op when
+        the Python lists are authoritative).  Row *contents* are
+        replaced in place so closures holding the outer lists stay
+        valid."""
+        state = self._c_state
+        if state is None:
+            return
+        fps, sec = state.rows(self.num_buckets, self.entries_per_bucket)
+        for row, fresh in zip(self._fps, fps):
+            row[:] = fresh
+        for row, fresh in zip(self._security, sec):
+            row[:] = fresh
+
+    def snapshot(self) -> dict:
+        """Engine-independent structural state (the golden-equivalence
+        suites compare engines through this)."""
+        self._sync_rows_from_c()
+        return {
+            "total_accesses": self.total_accesses,
+            "total_relocations": self.total_relocations,
+            "autonomic_deletions": self.autonomic_deletions,
+            "valid_count": self.valid_count,
+            "lcg": self._lcg,
+            "fps": [list(row) for row in self._fps],
+            "security": [list(row) for row in self._security],
+        }
 
     # ------------------------------------------------------------------
     # Introspection / instrumentation

@@ -6,6 +6,7 @@ Usage::
     python tests/conformance/regenerate.py             # (re)write all
     python tests/conformance/regenerate.py --check     # verify, no writes
     python tests/conformance/regenerate.py --only flush_reload__pipo
+    python tests/conformance/regenerate.py --check --engine c --jobs 4
 
 ``--check`` recomputes every scenario from its pinned seed and
 compares payload and digest against ``tests/golden/*.json``; it exits
@@ -13,6 +14,14 @@ non-zero on any drift, any missing fixture, and any orphaned fixture
 (a golden file whose scenario no longer exists).  Drift in a fixture
 is therefore a one-command diagnosis: the failing scenario names the
 exact attack × defence combination whose engine behaviour changed.
+
+``--engine`` selects the simulation engine (sets ``REPRO_ENGINE``) —
+the fixtures are engine-independent by construction, so ``--check``
+must pass unchanged under every engine; this flag is how the CI
+matrix and the compiled-kernel admissibility rule exercise that.
+``--jobs N`` fans the scenario computations over worker processes
+(seed-deterministic, order-preserving — and a live test that kernels
+rebuild cleanly inside fork/spawn workers).
 
 The script bootstraps its own import paths, so it runs from a clean
 checkout with no environment setup.
@@ -22,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -36,8 +46,21 @@ def fixture_path(name: str) -> Path:
     return GOLDEN_DIR / f"{name}.json"
 
 
-def write_fixture(name: str) -> None:
-    payload = run_scenario(name)
+def compute_payloads(names, jobs: int | None) -> dict:
+    """Compute scenario payloads, optionally fanned out over workers.
+
+    Workers rebuild their engine kernels from scratch (nothing about a
+    kernel crosses the process boundary), so a parallel ``--check`` is
+    also a regression test for kernel construction under fork/spawn.
+    """
+    from repro.experiments.parallel import run_cells
+
+    return dict(zip(names, run_cells(names, run_scenario, jobs=jobs)))
+
+
+def write_fixture(name: str, payload=None) -> None:
+    if payload is None:
+        payload = run_scenario(name)
     record = {
         "scenario": name,
         "seed": SEED,
@@ -50,15 +73,20 @@ def write_fixture(name: str) -> None:
         fh.write("\n")
 
 
-def check_fixture(name: str) -> list[str]:
-    """Return human-readable problems with one scenario's fixture."""
+def check_fixture(name: str, payload=None) -> list[str]:
+    """Return human-readable problems with one scenario's fixture.
+
+    ``payload`` may be precomputed (the ``--jobs`` fan-out); omitted,
+    the scenario is recomputed in-process.
+    """
     path = fixture_path(name)
     if not path.exists():
         return [f"{name}: fixture missing ({path})"]
     with path.open() as fh:
         record = json.load(fh)
     problems = []
-    payload = run_scenario(name)
+    if payload is None:
+        payload = run_scenario(name)
     digest = payload_digest(payload)
     if record.get("seed") != SEED:
         problems.append(
@@ -95,7 +123,38 @@ def main(argv: list[str] | None = None) -> int:
         "--only", metavar="NAME", action="append", default=None,
         help="restrict to one scenario (repeatable)",
     )
+    parser.add_argument(
+        "--engine", choices=("python", "specialized", "c"), default=None,
+        help="simulation engine to replay under (sets REPRO_ENGINE; "
+             "fixtures must be identical under every engine)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for scenario computation "
+             "(0 = one per CPU; default: REPRO_JOBS or serial)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    if args.engine is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
+        if args.engine == "c":
+            # The c engine silently degrades to specialized inside the
+            # simulator (by design — a missing toolchain must not
+            # break experiments).  A *verification* run asked to
+            # exercise C, however, must not green-light the fallback:
+            # that would let a rotted C backend pass its own CI leg.
+            from repro.engine import c_backend
+
+            if not c_backend.available():
+                print(
+                    "FAIL: --engine c requested but the C backend "
+                    "cannot build (cffi or C toolchain missing) — "
+                    "refusing to verify the fallback engine under the "
+                    "c label",
+                    file=sys.stderr,
+                )
+                return 2
 
     names = sorted(SCENARIOS)
     if args.only:
@@ -104,9 +163,11 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"unknown scenario(s): {', '.join(unknown)}")
         names = sorted(args.only)
 
+    payloads = compute_payloads(names, args.jobs)
+
     if not args.check:
         for name in names:
-            write_fixture(name)
+            write_fixture(name, payload=payloads[name])
             print(f"wrote {fixture_path(name).relative_to(Path.cwd())}"
                   if fixture_path(name).is_relative_to(Path.cwd())
                   else f"wrote {fixture_path(name)}")
@@ -114,7 +175,7 @@ def main(argv: list[str] | None = None) -> int:
 
     problems: list[str] = []
     for name in names:
-        issues = check_fixture(name)
+        issues = check_fixture(name, payload=payloads[name])
         problems.extend(issues)
         print(f"{name}: {'OK' if not issues else 'DRIFT'}")
     if args.only is None:

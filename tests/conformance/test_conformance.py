@@ -28,10 +28,15 @@ _REGEN_HINT = (
 )
 
 
+@pytest.mark.usefixtures("repro_engine")
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 def test_scenario_replays_bit_identically(name):
     # Single source of truth: the same check `regenerate.py --check`
-    # runs, so the CLI and the test suite cannot drift apart.
+    # runs, so the CLI and the test suite cannot drift apart.  The
+    # ``repro_engine`` fixture fans this out over every available
+    # engine (python / specialized / c-when-buildable): one fixture
+    # set, every engine must reproduce it bit-identically — the
+    # admissibility rule for engine rewrites.
     problems = check_fixture(name)
     assert not problems, f"{problems} — {_REGEN_HINT}"
 

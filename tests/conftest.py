@@ -6,9 +6,36 @@ the ``tier2_perf`` benchmarks keep their own markers, every other test
 is auto-marked ``tier1``.  ``python -m pytest -x -q`` therefore runs
 tier-1 *plus* conformance (both are fast and both gate merges), while
 ``-m tier1`` and ``-m conformance`` select either suite standalone.
+
+``engines()`` is the shared parametrization source for the
+golden-equivalence and conformance suites: every engine this host can
+run (``c`` is probed once — included only when the cffi extension
+builds).  Suites parametrize over it with an autouse fixture that pins
+``REPRO_ENGINE``, so each case replays bit-identically under each
+engine.
 """
 
+import functools
+import sys
+from pathlib import Path
+
 import pytest
+
+# Make the src/ layout importable regardless of how pytest was invoked
+# (PYTHONPATH=src is the documented tier-1 command, but standalone runs
+# of a single test module must not depend on it or on another module's
+# collection-order side effects).
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@functools.lru_cache(maxsize=1)
+def engines() -> tuple[str, ...]:
+    """Engines available on this host (probes the C toolchain once)."""
+    from repro.engine import available_engines
+
+    return available_engines()
 
 
 def pytest_collection_modifyitems(items):
@@ -16,3 +43,17 @@ def pytest_collection_modifyitems(items):
         if "conformance" in item.keywords or "tier2_perf" in item.keywords:
             continue
         item.add_marker(pytest.mark.tier1)
+
+
+def pytest_generate_tests(metafunc):
+    # Any test (or class/module via usefixtures) requesting
+    # ``repro_engine`` fans out over every available engine.
+    if "repro_engine" in metafunc.fixturenames:
+        metafunc.parametrize("repro_engine", engines(), indirect=True)
+
+
+@pytest.fixture
+def repro_engine(request, monkeypatch):
+    """Pin ``REPRO_ENGINE`` for the test; yields the engine name."""
+    monkeypatch.setenv("REPRO_ENGINE", request.param)
+    return request.param

@@ -1,0 +1,293 @@
+"""The specializing kernel engine: generated kernels == generic paths.
+
+The conformance harness pins the engines against *fixed* scenarios;
+this suite attacks the same contract from the other side — freshly
+generated kernels must agree with the generic reference implementation
+on **arbitrary** access streams (Hypothesis-driven), on every service
+tier (L1/L2/LLC hits, misses, writes, ifetches, flushes), with and
+without a monitor, plus the engine-selection plumbing itself.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.engine as engine_mod
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.config import TABLE_II, SystemConfig
+from repro.core.pipomonitor import PiPoMonitor
+from repro.engine import available_engines, engine_name, set_engine
+from repro.engine.specialize import build_access_kernel, build_filter_kernel
+from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.utils.events import EventQueue
+
+#: op codes: READ, WRITE, IFETCH, FLUSH
+_OPS = (0, 1, 2, 3)
+
+#: A record: (core, op, line index) — line indices mix a hot region
+#: (hits), a warm region (L2/LLC), and a cold tail (misses/evictions).
+_records = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.sampled_from(_OPS),
+        st.one_of(
+            st.integers(min_value=0, max_value=255),          # hot
+            st.integers(min_value=0, max_value=32767),        # warm
+            st.integers(min_value=0, max_value=(1 << 22) - 1),  # cold
+        ),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def _monitored_pair(seed=7):
+    def build():
+        h = TABLE_II.build_hierarchy(seed=seed)
+        monitor = PiPoMonitor(
+            TABLE_II.filter.build(seed=seed + 1),
+            EventQueue(),
+            track_captured_lines=True,
+        )
+        monitor.attach(h)
+        return h, monitor
+
+    return build(), build()
+
+
+def _assert_hierarchies_equal(ha, hb):
+    assert ha.stats == hb.stats
+    for group_a, group_b in (
+        (ha.l1d, hb.l1d), (ha.l1i, hb.l1i), (ha.l2, hb.l2),
+        (ha.llc.slices, hb.llc.slices),
+    ):
+        for ca, cb in zip(group_a, group_b):
+            assert ca._map == cb._map
+            assert ca._sets == cb._sets
+            assert ca._stamp == cb._stamp
+            assert (ca.hits, ca.misses, ca.evictions) == (
+                cb.hits, cb.misses, cb.evictions
+            )
+    # The fused lru_rand victim draw must consume the exact same
+    # Mersenne-Twister stream as the generic randrange path.
+    for ca, cb in zip(ha.llc.slices, hb.llc.slices):
+        rng_a = getattr(ca.policy, "_rng", None)
+        rng_b = getattr(cb.policy, "_rng", None)
+        if rng_a is not None:
+            assert rng_a.getstate() == rng_b.getstate()
+
+
+class TestKernelAgreesWithGenericPath:
+    """Hypothesis: generic ``access`` and a freshly generated kernel
+    agree — latencies, stats, table words, stamps, filter state, RNG
+    streams — on random access streams."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(records=_records)
+    def test_monitored_random_streams(self, records):
+        (hg, mg), (hk, mk) = _monitored_pair()
+        kernel = build_access_kernel(hk)
+        assert kernel is not None
+        generic = [
+            hg.access(core, op, line * 64, now=i)
+            for i, (core, op, line) in enumerate(records)
+        ]
+        kerneled = [
+            kernel(core, op, line * 64, now=i)
+            for i, (core, op, line) in enumerate(records)
+        ]
+        assert generic == kerneled
+        _assert_hierarchies_equal(hg, hk)
+        assert dataclasses.asdict(mg.stats) == dataclasses.asdict(mk.stats)
+        assert mg.filter.snapshot() == mk.filter.snapshot()
+        assert mg.captured_lines == mk.captured_lines
+        hk.check_invariants()
+
+    @settings(max_examples=20, deadline=None)
+    @given(records=_records)
+    def test_unmonitored_random_streams(self, records):
+        hg = TABLE_II.build_hierarchy(seed=3)
+        hk = TABLE_II.build_hierarchy(seed=3)
+        kernel = build_access_kernel(hk)
+        assert kernel is not None
+        for i, (core, op, line) in enumerate(records):
+            assert hg.access(core, op, line * 64, now=i) == kernel(
+                core, op, line * 64, now=i
+            )
+        _assert_hierarchies_equal(hg, hk)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=(1 << 48) - 1),
+            min_size=1,
+            max_size=500,
+        )
+    )
+    def test_filter_kernel_random_keys(self, keys):
+        ref = AutoCuckooFilter(seed=11)
+        spec = AutoCuckooFilter(seed=11)
+        kernel = build_filter_kernel(spec)
+        assert kernel is not None
+        assert [ref.access(k) for k in keys] == [kernel(k) for k in keys]
+        assert ref.snapshot() == spec.snapshot()
+
+
+class TestCBackend:
+    """The cffi filter kernel (skipped when no toolchain)."""
+
+    @pytest.fixture(autouse=True)
+    def _require_c(self):
+        if "c" not in available_engines():
+            pytest.skip("C backend unavailable (no cffi/toolchain)")
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=(1 << 48) - 1),
+            min_size=1,
+            max_size=500,
+        )
+    )
+    def test_c_filter_random_keys(self, keys):
+        ref = AutoCuckooFilter(seed=13)
+        cfl = AutoCuckooFilter(seed=13)
+        assert cfl.use_c_backend()
+        assert [ref.access(k) for k in keys] == [cfl.access(k) for k in keys]
+        assert ref.snapshot() == cfl.snapshot()
+
+    def test_c_backend_midstream_install(self):
+        # Installing after Python-side accesses must carry the table
+        # over exactly (the C arrays are seeded from the live lists).
+        keys = [(k * 977) & ((1 << 40) - 1) for k in range(20_000)]
+        ref = AutoCuckooFilter(seed=2)
+        cfl = AutoCuckooFilter(seed=2)
+        for k in keys[:7_000]:
+            ref.access(k)
+            cfl.access(k)
+        assert cfl.use_c_backend()
+        for k in keys[7_000:]:
+            assert ref.access(k) == cfl.access(k)
+        assert ref.snapshot() == cfl.snapshot()
+        assert ref.occupancy() == cfl.occupancy()
+        probe = keys[123]
+        assert ref.contains(probe) == cfl.contains(probe)
+        assert ref.security_of(probe) == cfl.security_of(probe)
+        assert sorted(ref.entries()) == sorted(cfl.entries())
+
+    def test_ineligible_filters_refuse(self):
+        assert not AutoCuckooFilter(seed=1, instrument=True).use_c_backend()
+        assert not AutoCuckooFilter(
+            seed=1, fingerprint_bits=20
+        ).use_c_backend()
+
+    def test_install_refused_once_a_kernel_closed_over_the_rows(self):
+        # A live specialized closure mutates the Python row lists; if
+        # the C arrays became authoritative afterwards the two would
+        # silently fork.  The install must refuse instead, keeping the
+        # already-issued kernel the single source of truth.
+        flt = AutoCuckooFilter(seed=4)
+        kernel = build_filter_kernel(flt)
+        assert kernel is not None
+        for k in range(5_000):
+            kernel(k * 31)
+        assert not flt.use_c_backend()
+        ref = AutoCuckooFilter(seed=4)
+        for k in range(5_000):
+            ref.access(k * 31)
+        # and the issued kernel keeps agreeing with the reference
+        assert [kernel(k * 17) for k in range(2_000)] == [
+            ref.access(k * 17) for k in range(2_000)
+        ]
+        assert ref.snapshot() == flt.snapshot()
+
+    def test_c_routed_filter_survives_engine_switch(self, monkeypatch):
+        # Once a filter's state moved into C arrays, later kernels
+        # (and the python engine's generic paths) must keep routing
+        # through them — a half-switched filter would silently fork
+        # its table state.
+        def drive(h, access, lo, hi):
+            for i in range(lo, hi):
+                access(0, 0, (i * 131) * 64, i)
+
+        monkeypatch.setenv("REPRO_ENGINE", "c")
+        h = TABLE_II.build_hierarchy(seed=0)
+        mon = PiPoMonitor(TABLE_II.filter.build(seed=1), EventQueue())
+        mon.attach(h)
+        drive(h, h.engine_access(), 0, 2_000)
+        monkeypatch.setenv("REPRO_ENGINE", "specialized")
+        drive(h, h.engine_access(), 2_000, 3_000)
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        drive(h, h.engine_access(), 3_000, 4_000)
+
+        href = TABLE_II.build_hierarchy(seed=0)
+        mref = PiPoMonitor(TABLE_II.filter.build(seed=1), EventQueue())
+        mref.attach(href)
+        drive(href, href.access, 0, 4_000)
+
+        assert h.stats == href.stats
+        assert dataclasses.asdict(mon.stats) == dataclasses.asdict(mref.stats)
+        assert mon.filter.snapshot() == mref.filter.snapshot()
+
+
+class TestEngineSelection:
+    def test_engine_name_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert engine_name() == engine_mod.DEFAULT_ENGINE == "specialized"
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        assert engine_name() == "python"
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(ValueError):
+            engine_name()
+        with pytest.raises(ValueError):
+            set_engine("turbo")
+        set_engine("c")
+        assert engine_name() == "c"
+
+    def test_python_engine_returns_generic_methods(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        h = TABLE_II.build_hierarchy(seed=0)
+        assert h.engine_access() == h.access
+        fltr = AutoCuckooFilter(seed=0)
+        assert fltr.engine_access().__func__ is AutoCuckooFilter.access
+
+    def test_specialized_kernel_cached_until_monitor_changes(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_ENGINE", "specialized")
+        h = TABLE_II.build_hierarchy(seed=0)
+        first = h.engine_access()
+        assert first is h.engine_access()  # cached
+        monitor = PiPoMonitor(TABLE_II.filter.build(seed=1), EventQueue())
+        monitor.attach(h)
+        rebuilt = h.engine_access()
+        assert rebuilt is not first  # monitor change invalidates
+        assert rebuilt is h.engine_access()
+
+    def test_unsupported_policy_falls_back_to_generic(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "specialized")
+        config = dataclasses.replace(SystemConfig(), llc_policy="random")
+        h = config.build_hierarchy(seed=0)
+        # random policy has no insert stamps: the specializer refuses
+        # and the seam degrades to the generic bound method.
+        assert h.engine_access() == h.access
+
+    def test_kernel_and_generic_interleave_on_shared_state(self):
+        # Mixed calling (generic access + kernel on one hierarchy)
+        # must stay coherent — flushes/prefetches run generic paths.
+        h1 = CacheHierarchy(num_cores=2, seed=9)
+        h2 = CacheHierarchy(num_cores=2, seed=9)
+        kernel = build_access_kernel(h2)
+        for i in range(4_000):
+            core = i & 1
+            op = (0, 1, 0, 2)[i & 3]
+            addr = ((i * 37) % 20_000) * 64
+            expected = h1.access(core, op, addr, now=i)
+            if i % 3:
+                got = kernel(core, op, addr, now=i)
+            else:
+                got = h2.access(core, op, addr, now=i)
+            assert expected == got
+        _assert_hierarchies_equal(h1, h2)

@@ -218,14 +218,18 @@ class TestBatchEmissionEquivalence:
             next(workload.record_chunks(0, 0))
 
 
+def _lcg_keys(n, mod, seed=0xABCDE):
+    state = seed
+    out = []
+    for _ in range(n):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        out.append((state >> 20) % mod)
+    return out
+
+
 class TestFilterAccessManyEquivalence:
     def _keys(self, n, mod):
-        state = 0xABCDE
-        out = []
-        for _ in range(n):
-            state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
-            out.append((state >> 20) % mod)
-        return out
+        return _lcg_keys(n, mod)
 
     @pytest.mark.parametrize("mod", [1 << 11, 1 << 14], ids=["hits", "saturated"])
     def test_state_identical(self, mod):
@@ -254,3 +258,31 @@ class TestFilterAccessManyEquivalence:
         assert batched.access_many(keys) == captures
         assert serial._fps == batched._fps
         assert serial._security == batched._security
+
+
+@pytest.mark.usefixtures("repro_engine")
+class TestEngineBatchedFilterEquivalence:
+    """The engine seam's per-Access entry point and the batched
+    ``access_many`` path must leave identical table state under every
+    engine (python / specialized / c when buildable) — the filter-side
+    half of the kernel-admissibility contract, replayed per engine via
+    the shared ``repro_engine`` fixture."""
+
+    @pytest.mark.parametrize("mod", [1 << 11, 1 << 14], ids=["hits", "saturated"])
+    def test_engine_access_matches_generic(self, mod):
+        keys = _lcg_keys(20_000, mod)
+        reference = AutoCuckooFilter(seed=5)
+        engined = AutoCuckooFilter(seed=5)
+        threshold = reference.security_threshold
+        access = engined.engine_access()
+        expected = [reference.access(k) for k in keys]
+        assert [access(k) for k in keys] == expected
+        assert reference.snapshot() == engined.snapshot()
+
+        # And the batched entry point on a third twin: same captures,
+        # same state (under the c engine this is the C batch kernel).
+        batched = AutoCuckooFilter(seed=5)
+        batched.engine_access()  # bind the engine before batching
+        captures = sum(1 for r in expected if r >= threshold)
+        assert batched.access_many(keys) == captures
+        assert reference.snapshot() == batched.snapshot()

@@ -6,9 +6,17 @@ filter state, same simulation results as the plain serial code, for
 the same seed.  These tests pin that, so a future optimisation that
 quietly changes replacement decisions, stat accounting, or RNG
 derivation fails loudly.
+
+The suites are parametrized over every available engine
+(``REPRO_ENGINE`` — python, specialized, and c when buildable, via the
+shared ``repro_engine`` fixture): the serial reference side always
+runs the generic paths, so each case simultaneously pins batched-vs-
+serial *and* kernel-vs-generic equivalence.
 """
 
 import dataclasses
+
+import pytest
 
 from repro.cache.hierarchy import OP_IFETCH, OP_READ, OP_WRITE
 from repro.core.config import TABLE_II, SystemConfig
@@ -61,16 +69,13 @@ def _monitored_hierarchy(seed=3):
 
 
 def _filter_state(fltr):
-    return (
-        fltr.total_accesses,
-        fltr.total_relocations,
-        fltr.autonomic_deletions,
-        fltr.valid_count,
-        fltr._fps,
-        fltr._security,
-    )
+    # snapshot() is engine-independent (it resyncs from the C arrays
+    # when the c engine routed this filter), so the comparison is
+    # meaningful under every REPRO_ENGINE value.
+    return fltr.snapshot()
 
 
+@pytest.mark.usefixtures("repro_engine")
 class TestAccessManyEquivalence:
     def test_batched_matches_serial(self):
         requests = _request_stream()
@@ -116,6 +121,7 @@ class TestAccessManyEquivalence:
             )
 
 
+@pytest.mark.usefixtures("repro_engine")
 class TestBatchPrefetchEquivalence:
     """The chunked per-core batch prefetch must be semantically
     invisible: identical SimulationResult whether cores consume their
@@ -162,6 +168,7 @@ def _cell(args):
     return run_workloads(config, workloads, instructions, seed=seed)
 
 
+@pytest.mark.usefixtures("repro_engine")
 class TestParallelRunnerEquivalence:
     def test_simulation_result_identical_across_processes(self):
         args = ("mix3", 20_000, 7)
