@@ -204,3 +204,32 @@ def test_fig8_single_cell(benchmark):
     benchmark.extra_info["operations"] = 1
     benchmark.extra_info["engine"] = effective_engine()
     return result
+
+
+def test_fig10_detection_cell(benchmark):
+    """One end-to-end fig10 cell: Flush+Reload under PiPoMonitor with
+    the alarm bus, rate detector, and throttle response all online —
+    the detection subsystem's trajectory point (run_perf.sh stamps it
+    into BENCH_trajectory.json alongside the fig8 cell).
+
+    Budget pinned at the fig10 defaults so the point stays comparable
+    across PRs even if the experiment's own defaults move.
+    """
+    from repro.attacks.flush_reload import run_flush_attack
+    from repro.detection import DetectionSpec
+
+    def run(_state):
+        run_flush_attack(
+            "flush_reload", "pipo", iterations=32, seed=0,
+            detection=DetectionSpec(
+                detectors=(("rate", {"window": 12000, "threshold": 3}),),
+                response="throttle_core",
+            ),
+        )
+
+    result = benchmark.pedantic(
+        run, setup=lambda: ((None,), {}), rounds=3, iterations=1,
+    )
+    benchmark.extra_info["operations"] = 1
+    benchmark.extra_info["engine"] = effective_engine()
+    return result

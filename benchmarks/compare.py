@@ -69,7 +69,13 @@ def load_record(source: str, trajectory: bool) -> dict:
             f"error: no trajectory entry for commit {source!r}; "
             f"recorded commits: {', '.join(known) if known else '(none)'}"
         )
-    return matches[-1]  # latest run of that commit
+    record = matches[-1]  # latest run of that commit
+    if "benchmarks" not in record:
+        raise SystemExit(
+            f"error: trajectory entry for commit {source!r} has no "
+            "benchmarks section"
+        )
+    return record
 
 
 def compare(baseline: dict, candidate: dict, threshold: float) -> int:
@@ -78,12 +84,14 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> int:
     shared = sorted(set(base) & set(cand))
     if not shared:
         raise SystemExit("error: records share no benchmarks")
-    engines = (baseline.get("engine"), candidate.get("engine"))
-    if any(engines):
-        print(
-            f"engines: baseline={engines[0] or 'unrecorded'}  "
-            f"candidate={engines[1] or 'unrecorded'}"
-        )
+    # Pre-PR-4 trajectory records carry no engine stamp; print
+    # ``unknown`` rather than erroring or hiding the line — a cross-
+    # engine comparison must stay visible even when one side predates
+    # the stamp.
+    print(
+        f"engines: baseline={baseline.get('engine') or 'unknown'}  "
+        f"candidate={candidate.get('engine') or 'unknown'}"
+    )
     width = max(len(n) for n in shared)
     print(f"{'benchmark'.ljust(width)}  {'baseline':>14}  {'candidate':>14}  {'ratio':>7}")
     regressions = []

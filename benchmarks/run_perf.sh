@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Run the hot-path microbenchmarks and record the ops/sec trajectory.
+# Run the hot-path microbenchmarks and record the ops/sec trajectory
+# (includes the end-to-end fig8 and fig10 cells, so every run stamps a
+# detection-subsystem trajectory point alongside the kernel numbers).
 #
 # Usage:  benchmarks/run_perf.sh [extra pytest args...]
 #

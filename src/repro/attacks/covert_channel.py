@@ -190,13 +190,17 @@ def run_covert_channel(
     window: int = 5000,
     seed: int = 0,
     config: SystemConfig | None = None,
+    detection=None,
 ) -> CovertChannelResult:
     """Transmit a payload across cores; measure bandwidth and errors.
 
     ``defence`` is any name from
     :data:`repro.baselines.registry.DEFENCES`; ``window`` must leave
     room for one probe and one transmission per bit
-    (:data:`MIN_WINDOW`).
+    (:data:`MIN_WINDOW`).  ``detection`` (a
+    :class:`repro.detection.DetectionSpec`) deploys the online
+    detection-and-response subsystem — the responses that actually cut
+    the measured capacity mid-run.
     """
     if window < MIN_WINDOW:
         raise ValueError(
@@ -214,7 +218,7 @@ def run_covert_channel(
     workloads[SENDER_CORE] = sender
     simulation, monitor, hierarchy = run_defended_workloads(
         config, workloads, defence, seed=seed, seed_label="covert",
-        pad_idle=True,
+        pad_idle=True, detection=detection,
     )
 
     return CovertChannelResult(

@@ -165,9 +165,92 @@ class FlushFlushAttacker(_FlushAttackerBase):
                 )
 
 
+class AdaptiveFlushReloadAttacker(FlushReloadAttacker):
+    """Flush+Reload that *reacts to the defence*: when its probes come
+    back throttled it backs off.
+
+    The attacker knows its own baseline timings (reload miss ≈ memory
+    latency).  A reload far above that — ``throttle_threshold``,
+    defaulting to well past any unthrottled miss — means the OS's
+    ``throttle_core`` response is active, so the attacker goes quiet
+    for ``backoff_windows`` windows before resuming, trading
+    observations for stealth (the evasion the detection subsystem's
+    rate detectors must still catch, and the fig10 response table
+    quantifies as probe-rate reduction).
+    """
+
+    name = "adaptive-flush-reload-attacker"
+
+    def __init__(
+        self,
+        iterations: int,
+        probe_period: int = 5000,
+        miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+        flush_hit_threshold: int = DEFAULT_FLUSH_HIT_THRESHOLD,
+        throttle_threshold: int = 350,
+        backoff_windows: int = 4,
+    ):
+        super().__init__(
+            iterations,
+            probe_period=probe_period,
+            miss_threshold=miss_threshold,
+            flush_hit_threshold=flush_hit_threshold,
+        )
+        if throttle_threshold < 1:
+            raise ValueError("throttle_threshold must be >= 1")
+        if backoff_windows < 1:
+            raise ValueError("backoff_windows must be >= 1")
+        self.throttle_threshold = throttle_threshold
+        self.backoff_windows = backoff_windows
+        self.backoff_events = 0
+        self.windows_probed = 0
+        self.windows_skipped = 0
+
+    @property
+    def probe_rate(self) -> float:
+        """Fraction of windows actually probed (1.0 = full rate)."""
+        total = self.windows_probed + self.windows_skipped
+        return self.windows_probed / total if total else 0.0
+
+    def generator(self, core_id: int, seed: int):
+        targets = self._require_targets()
+        clock = 0
+        for target in targets:
+            clock += yield 0, OP_FLUSH, target
+        skip_until = -1
+        for iteration in range(self.iterations):
+            wait = (iteration + 1) * self.probe_period - clock
+            if wait > 0:
+                yield wait, None, 0
+                clock += wait
+            if iteration <= skip_until:
+                # Backing off: stay silent this window (no probes, no
+                # re-arm — nothing for the monitor or the OS to see).
+                self.windows_skipped += 1
+                continue
+            self.windows_probed += 1
+            throttled = False
+            for index, target in enumerate(targets):
+                latency = yield 0, OP_READ, target
+                clock += latency
+                if latency >= self.throttle_threshold:
+                    throttled = True
+                self.observations.append(
+                    FlushProbe(
+                        iteration, index, latency,
+                        latency < self.miss_threshold, clock,
+                    )
+                )
+                clock += yield 0, OP_FLUSH, target
+            if throttled:
+                self.backoff_events += 1
+                skip_until = iteration + self.backoff_windows
+
+
 ATTACK_KINDS = {
     "flush_reload": FlushReloadAttacker,
     "flush_flush": FlushFlushAttacker,
+    "adaptive_flush_reload": AdaptiveFlushReloadAttacker,
 }
 
 
@@ -195,11 +278,16 @@ def run_flush_attack(
     config: SystemConfig | None = None,
     probe_period: int = 5000,
     key: list[int] | None = None,
+    detection=None,
 ) -> FlushAttackResult:
     """Run one flush attack against one defence on the Table II system.
 
-    ``kind`` is ``"flush_reload"`` or ``"flush_flush"``; ``defence`` is
-    any name from :data:`repro.baselines.registry.DEFENCES`.
+    ``kind`` is ``"flush_reload"``, ``"flush_flush"``, or
+    ``"adaptive_flush_reload"``; ``defence`` is any name from
+    :data:`repro.baselines.registry.DEFENCES`.  ``detection`` (a
+    :class:`repro.detection.DetectionSpec`) deploys the online
+    detection-and-response subsystem; its report lands in
+    ``result.simulation.extra["detection"]``.
     """
     if kind not in ATTACK_KINDS:
         raise ValueError(
@@ -222,10 +310,19 @@ def run_flush_attack(
     workloads: list[Workload] = [attacker, victim]
     simulation, monitor, hierarchy = run_defended_workloads(
         config, workloads, defence, seed=seed, seed_label="flush",
-        pad_idle=True,
+        pad_idle=True, detection=detection,
     )
 
     matrix = attacker.observed_matrix()
+    extra = {
+        "flushes": hierarchy.stats.flushes,
+        "flush_hits": hierarchy.stats.flush_hits,
+    }
+    if isinstance(attacker, AdaptiveFlushReloadAttacker):
+        extra["probe_rate"] = attacker.probe_rate
+        extra["backoff_events"] = attacker.backoff_events
+        extra["windows_probed"] = attacker.windows_probed
+        extra["windows_skipped"] = attacker.windows_skipped
     return FlushAttackResult(
         kind=kind,
         defence=defence,
@@ -236,8 +333,5 @@ def run_flush_attack(
         observations=attacker.observations,
         monitor_stats=getattr(monitor, "stats", None),
         simulation=simulation,
-        extra={
-            "flushes": hierarchy.stats.flushes,
-            "flush_hits": hierarchy.stats.flush_hits,
-        },
+        extra=extra,
     )

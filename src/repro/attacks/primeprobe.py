@@ -141,12 +141,16 @@ def run_prime_probe_attack(
     config: SystemConfig | None = None,
     probe_period: int = 5000,
     key: list[int] | None = None,
+    detection=None,
 ) -> AttackResult:
     """Run the full Fig. 6 scenario on the Table II system.
 
     The victim's square/multiply entry lines are probed for
     ``iterations`` attack iterations; returns the per-iteration
-    observation timeline plus ground truth.
+    observation timeline plus ground truth.  ``detection`` (a
+    :class:`repro.detection.DetectionSpec`, requires the monitor)
+    deploys the online detection-and-response subsystem; its report
+    lands in ``extra["simulation"].extra["detection"]``.
     """
     base_config = config if config is not None else TABLE_II
     system_config = replace(base_config, monitor_enabled=monitor_enabled)
@@ -167,6 +171,13 @@ def run_prime_probe_attack(
             fltr, events, prefetch_delay=system_config.prefetch_delay
         )
         monitor.attach(hierarchy)
+    bus = None
+    if detection is not None:
+        if monitor is None:
+            raise ValueError(
+                "detection requires the monitor (monitor_enabled=True)"
+            )
+        bus = detection.attach_bus(monitor)
 
     targets = [
         victim.square_address(VICTIM_CORE),
@@ -187,7 +198,10 @@ def run_prime_probe_attack(
              hierarchy)
         for core_id, wl in enumerate(workloads)
     ]
-    simulation = MulticoreSystem(hierarchy, cores, events).run()
+    unit = None
+    if detection is not None:
+        unit = detection.deploy(bus, events, hierarchy, cores)
+    simulation = MulticoreSystem(hierarchy, cores, events, detection=unit).run()
 
     matrix = attacker.observed_matrix()
     return AttackResult(

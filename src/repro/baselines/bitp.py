@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.cache.line import CacheLine
 from repro.core.pipomonitor import MonitorStats
-from repro.utils.events import EventQueue
+from repro.utils.events import ALARM_PEVICT, AlarmBus, EventQueue
 
 
 class BitpPrefetcher:
@@ -32,6 +32,10 @@ class BitpPrefetcher:
         self.prefetch_delay = prefetch_delay
         self.stats = MonitorStats()
         self.hierarchy = None
+        #: Optional monitor→OS alarm stream.  BITP keeps no per-line
+        #: state, so its only publishable event is the
+        #: back-invalidation itself (its pEvict equivalent).
+        self.alarms: AlarmBus | None = None
 
     def attach(self, hierarchy) -> None:
         self.hierarchy = hierarchy
@@ -51,6 +55,8 @@ class BitpPrefetcher:
         if line.sharers == 0:
             return
         self.stats.pevicts += 1
+        if self.alarms is not None:
+            self.alarms.publish(ALARM_PEVICT, now, line.addr, -1, line.sharers)
         self.stats.prefetches_scheduled += 1
         line_addr = line.addr
         fire_at = now + self.prefetch_delay

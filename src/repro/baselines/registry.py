@@ -29,6 +29,14 @@ from repro.utils.rng import derive_seed
 #: Registry order is presentation order in experiment tables.
 DEFENCES: tuple[str, ...] = ("none", "pipo", "bitp", "table")
 
+#: Additional buildable configurations that are not part of the
+#: headline comparison matrix.  ``pipo_detect`` is PiPoMonitor in
+#: *detect-only* mode: captures, pEvicts, and alarm-bus publishing
+#: all run, but no obfuscating prefetch is scheduled — the deployment
+#: where the OS response policies (:mod:`repro.detection`) carry the
+#: mitigation, which is what the fig10 response comparison isolates.
+EXTRA_DEFENCES: tuple[str, ...] = ("pipo_detect",)
+
 #: BITP reacts to the back-invalidation itself, so its delay is the
 #: short bus-turnaround figure the baseline comparison uses.
 BITP_PREFETCH_DELAY = 40
@@ -48,10 +56,11 @@ def build_defence(
     """
     if name == "none":
         return None
-    if name == "pipo":
+    if name == "pipo" or name == "pipo_detect":
         fltr = config.filter.build(seed=derive_seed(seed, "filter"))
         return PiPoMonitor(
-            fltr, events, prefetch_delay=config.prefetch_delay
+            fltr, events, prefetch_delay=config.prefetch_delay,
+            respond=(name == "pipo"),
         )
     if name == "bitp":
         return BitpPrefetcher(events, prefetch_delay=BITP_PREFETCH_DELAY)
@@ -64,4 +73,7 @@ def build_defence(
             ways=8,
             prefetch_delay=config.prefetch_delay,
         )
-    raise ValueError(f"unknown defence {name!r} (expected one of {DEFENCES})")
+    raise ValueError(
+        f"unknown defence {name!r} "
+        f"(expected one of {DEFENCES + EXTRA_DEFENCES})"
+    )

@@ -19,7 +19,13 @@ from __future__ import annotations
 from repro.cache.line import CacheLine
 from repro.core.pipomonitor import MonitorStats
 from repro.utils.bitops import is_power_of_two, log2_exact, mix64
-from repro.utils.events import EventQueue
+from repro.utils.events import (
+    ALARM_CAPTURE,
+    ALARM_PEVICT,
+    ALARM_SUPPRESSED,
+    AlarmBus,
+    EventQueue,
+)
 
 #: Physical line-address width assumed for tag sizing (46-bit physical
 #: addresses, 64-byte lines).
@@ -60,6 +66,9 @@ class TableRecorder:
         self._stamp = 0
         self.stats = MonitorStats()
         self.hierarchy = None
+        #: Optional monitor→OS alarm stream (same contract as
+        #: PiPoMonitor's — the recorder is its drop-in baseline).
+        self.alarms: AlarmBus | None = None
 
     def attach(self, hierarchy) -> None:
         self.hierarchy = hierarchy
@@ -118,6 +127,8 @@ class TableRecorder:
             entry[1] = self._stamp
             if entry[0] >= self.security_threshold:
                 self.stats.captures += 1
+                if self.alarms is not None:
+                    self.alarms.publish(ALARM_CAPTURE, now, line_addr, -1, 0)
                 return True
             return False
         if len(table_set) >= self.ways:
@@ -131,8 +142,14 @@ class TableRecorder:
             return
         if not line.accessed:
             self.stats.suppressed_unaccessed += 1
+            if self.alarms is not None:
+                self.alarms.publish(
+                    ALARM_SUPPRESSED, now, line.addr, -1, line.sharers
+                )
             return
         self.stats.pevicts += 1
+        if self.alarms is not None:
+            self.alarms.publish(ALARM_PEVICT, now, line.addr, -1, line.sharers)
         self.stats.prefetches_scheduled += 1
         line_addr = line.addr
         fire_at = now + self.prefetch_delay

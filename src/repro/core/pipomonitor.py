@@ -31,7 +31,13 @@ from dataclasses import dataclass
 
 from repro.cache.line import CacheLine
 from repro.filters.auto_cuckoo import AutoCuckooFilter
-from repro.utils.events import EventQueue
+from repro.utils.events import (
+    ALARM_CAPTURE,
+    ALARM_PEVICT,
+    ALARM_SUPPRESSED,
+    AlarmBus,
+    EventQueue,
+)
 
 DEFAULT_PREFETCH_DELAY = 40
 
@@ -74,17 +80,30 @@ class PiPoMonitor:
         events: EventQueue,
         prefetch_delay: int = DEFAULT_PREFETCH_DELAY,
         track_captured_lines: bool = False,
+        respond: bool = True,
     ):
         if prefetch_delay < 0:
             raise ValueError("prefetch_delay must be non-negative")
         self.filter = fltr
         self.events = events
         self.prefetch_delay = prefetch_delay
+        #: ``respond=False`` is *detect-only* mode: captures, pEvicts,
+        #: and alarm publishing all work, but no obfuscating prefetch
+        #: is ever scheduled — the deployment where the OS (the
+        #: :mod:`repro.detection` response policies) carries the
+        #: response instead of the hardware.
+        self.respond = respond
         self.stats = MonitorStats()
         self.hierarchy = None
         self.captured_lines: set[int] | None = (
             set() if track_captured_lines else None
         )
+        #: Optional monitor→OS alarm stream (:class:`AlarmBus`).  Must
+        #: be attached *before* any core binds its access kernel: the
+        #: engine resolves the bus's presence at kernel build time
+        #: (like ``needs_all_evictions``), so a bus-free configuration
+        #: compiles publish-free kernels.
+        self.alarms: AlarmBus | None = None
 
     def attach(self, hierarchy) -> None:
         """Wire the monitor into a hierarchy (both directions)."""
@@ -104,6 +123,11 @@ class PiPoMonitor:
             self.stats.captures += 1
             if self.captured_lines is not None:
                 self.captured_lines.add(line_addr)
+            if self.alarms is not None:
+                # Same tuple the specialized kernels bake in: the
+                # monitor has no requester id (core = -1), and there
+                # is no directory snapshot on the capture path.
+                self.alarms.publish(ALARM_CAPTURE, now, line_addr, -1, 0)
             return True
         return False
 
@@ -116,8 +140,16 @@ class PiPoMonitor:
             # prefetch: do not re-prefetch (Section IV's over-
             # protection guard).
             self.stats.suppressed_unaccessed += 1
+            if self.alarms is not None:
+                self.alarms.publish(
+                    ALARM_SUPPRESSED, now, line.addr, -1, line.sharers
+                )
             return
         self.stats.pevicts += 1
+        if self.alarms is not None:
+            self.alarms.publish(ALARM_PEVICT, now, line.addr, -1, line.sharers)
+        if not self.respond:
+            return
         self.stats.prefetches_scheduled += 1
         line_addr = line.addr
         fire_at = now + self.prefetch_delay

@@ -58,6 +58,7 @@ class Core:
         "_chunk",
         "_chunk_len",
         "_chunk_pos",
+        "_throttle_base",
         "_l1d",
         "_l1_latency",
         "_line_bits",
@@ -108,6 +109,47 @@ class Core:
         self._chunk = None
         self._chunk_len = 0
         self._chunk_pos = 0
+        # Original access binding while a throttle wrapper is active
+        # (None = unthrottled).  Throttling swaps the binding instead
+        # of adding a per-op check, so unthrottled cores — the only
+        # state outside an active OS response — pay zero.
+        self._throttle_base = None
+
+    # ------------------------------------------------------------------
+    # OS response hook: throttling
+    # ------------------------------------------------------------------
+
+    def throttle(self, penalty: int) -> None:
+        """Add ``penalty`` cycles to every operation served through
+        the access kernel (anything past the inline L1 read hit — the
+        probes, flushes, and misses an attack consists of).
+
+        Re-throttling replaces the previous wrapper (penalties do not
+        stack).  Implemented by wrapping the engine access binding, so
+        it composes with every engine and never touches the shared
+        hierarchy state.
+        """
+        if penalty < 1:
+            raise ValueError("penalty must be >= 1")
+        if self._throttle_base is None:
+            self._throttle_base = self._access
+        base = self._throttle_base
+
+        def throttled(core, op, addr, now=0, _base=base, _penalty=penalty):
+            return _base(core, op, addr, now) + _penalty
+
+        self._access = throttled
+
+    def unthrottle(self) -> None:
+        """Restore the unpenalised access binding (no-op if not
+        throttled)."""
+        if self._throttle_base is not None:
+            self._access = self._throttle_base
+            self._throttle_base = None
+
+    @property
+    def throttled(self) -> bool:
+        return self._throttle_base is not None
 
     def advance(self) -> bool:
         """Consume the next workload record (compute phase).

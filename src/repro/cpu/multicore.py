@@ -52,12 +52,18 @@ class MulticoreSystem:
         hierarchy: CacheHierarchy,
         cores: list[Core],
         events: EventQueue | None = None,
+        detection=None,
     ):
         if not cores:
             raise ValueError("at least one core required")
         self.hierarchy = hierarchy
         self.cores = cores
         self.events = events if events is not None else EventQueue()
+        #: Optional online :class:`repro.detection.DetectionUnit`.
+        #: The scheduler itself never consults it (alarms reach it
+        #: through the bus, responses through the event queue); it is
+        #: held here so the run's result carries its report.
+        self.detection = detection
 
     def run(self, max_instructions_per_core: int | None = None) -> SimulationResult:
         """Run every core until its workload ends or it retires the
@@ -119,10 +125,13 @@ class MulticoreSystem:
             if gc_was_enabled:
                 gc.enable()
         monitor = self.hierarchy.monitor
-        return SimulationResult(
+        result = SimulationResult(
             core_times=[completion[c.core_id] for c in self.cores],
             core_instructions=[c.instructions for c in self.cores],
             core_memory_ops=[c.memory_ops for c in self.cores],
             stats=self.hierarchy.stats,
             monitor_stats=getattr(monitor, "stats", None),
         )
+        if self.detection is not None:
+            result.extra["detection"] = self.detection.report()
+        return result

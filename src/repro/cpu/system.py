@@ -123,6 +123,7 @@ def run_defended_workloads(
     seed_label: str = "workload",
     instructions_per_core: int | None = None,
     pad_idle: bool = False,
+    detection=None,
 ):
     """Assemble and run a system with a registry defence attached.
 
@@ -136,6 +137,13 @@ def run_defended_workloads(
     bit-identical).  Cores consume generators directly — timing-
     sensitive attackers cannot batch, and the fixed generator path
     keeps conformance fixtures independent of ``REPRO_BATCH``.
+
+    ``detection`` (a :class:`repro.detection.DetectionSpec`) deploys
+    the online detection-and-response subsystem: the defence's alarm
+    bus is attached *before* core construction — each core resolves
+    its access kernel at construction, so the specialized engines bake
+    the publish sites in — and the built unit's report lands in
+    ``result.extra["detection"]``.
 
     Returns ``(simulation_result, monitor, hierarchy)``.
     """
@@ -153,12 +161,23 @@ def run_defended_workloads(
     monitor = build_defence(defence, config, events, seed=seed)
     if monitor is not None:
         monitor.attach(hierarchy)
+    bus = None
+    if detection is not None:
+        if monitor is None:
+            raise ValueError(
+                "detection requires a defence that publishes alarms "
+                "(defence='none' has no monitor on the hierarchy)"
+            )
+        bus = detection.attach_bus(monitor)
     cores = [
         Core(core_id, wl.generator(core_id, derive_seed(seed, seed_label, core_id)),
              hierarchy)
         for core_id, wl in enumerate(workloads)
     ]
-    result = MulticoreSystem(hierarchy, cores, events).run(
+    unit = None
+    if detection is not None:
+        unit = detection.deploy(bus, events, hierarchy, cores)
+    result = MulticoreSystem(hierarchy, cores, events, detection=unit).run(
         max_instructions_per_core=instructions_per_core
     )
     return result, monitor, hierarchy

@@ -1,0 +1,334 @@
+"""Online alarm-stream detectors.
+
+Each detector consumes the monitor→OS alarm stream
+(:class:`repro.utils.events.AlarmBus` tuples) one event at a time and
+emits :class:`Verdict` objects when the stream looks like an active
+cross-core attack.  Three complementary views of the same stream:
+
+* :class:`WindowedRateDetector` — pEvicts per sliding time window.
+  The bluntest signal: any channel that keeps bouncing tagged lines
+  out of the LLC (Prime+Probe probes, flush re-arms, covert-channel
+  traffic) raises the pEvict rate far above benign inclusion noise.
+* :class:`RegionEwmaDetector` — an exponentially-weighted moving
+  average of alarm activity *per address region*.  Attacks hammer a
+  handful of lines (the victim's secret-dependent lines, the covert
+  channel's shared line); benign ping-pong spreads over the working
+  set.  The EWMA is integer fixed-point so verdicts are bit-identical
+  across engines and platforms.
+* :class:`CrossCoreCorrelationDetector` — pEvicts on one line whose
+  directory sharer masks span multiple cores within a window: the
+  literal ping-pong signature (the line keeps changing cores).  Blind
+  to Flush+Flush by design — the attacker never holds the line — so
+  the ROC surface shows why a deployment layers detectors.
+
+Detectors are pure functions of the alarm stream: no RNG, no
+wall-clock, integer state only.  Replaying a recorded stream through
+``observe`` reproduces the online verdicts exactly (the property the
+``fig10`` ROC sweep and the Hypothesis suite pin).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.utils.events import ALARM_CAPTURE, ALARM_PEVICT
+
+#: Fixed-point scale for the EWMA detector (16 fractional bits).
+EWMA_SCALE = 1 << 16
+
+
+@dataclass(frozen=True, slots=True)
+class Verdict:
+    """One detector firing.
+
+    ``core`` is the accused core (``-1`` when the evidence names no
+    single core), ``lines`` the accused cache lines (most recent
+    first, deduplicated, capped) — the handles the response policies
+    act on.  ``latency`` is measured from the first alarm the detector
+    ever saw, i.e. the paper-style detection latency of the episode.
+    """
+
+    time: int
+    detector: str
+    score: int
+    core: int
+    lines: tuple[int, ...]
+    latency: int
+
+
+def _accuse(counts: dict[int, int]) -> int:
+    """Most-frequently-seen core, ties broken toward the lowest id
+    (deterministic); -1 when no core was ever named."""
+    best = -1
+    best_count = 0
+    for core in sorted(counts):
+        count = counts[core]
+        if count > best_count:
+            best, best_count = core, count
+    return best
+
+
+def _sharer_cores(sharers: int):
+    core = 0
+    while sharers:
+        if sharers & 1:
+            yield core
+        sharers >>= 1
+        core += 1
+
+
+class WindowedRateDetector:
+    """pEvict count over a sliding window of ``window`` cycles."""
+
+    name = "rate"
+
+    def __init__(
+        self,
+        window: int = 5000,
+        threshold: int = 4,
+        cooldown: int | None = None,
+        max_lines: int = 4,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.window = window
+        self.threshold = threshold
+        self.cooldown = cooldown if cooldown is not None else window
+        self.max_lines = max_lines
+        self._events: deque[tuple[int, int, int]] = deque()  # (t, line, sharers)
+        self._first_alarm: int | None = None
+        self._last_fire: int | None = None
+
+    def observe(
+        self, kind: int, time: int, line_addr: int, core: int, sharers: int
+    ) -> Verdict | None:
+        if kind != ALARM_PEVICT:
+            return None
+        if self._first_alarm is None:
+            self._first_alarm = time
+        events = self._events
+        events.append((time, line_addr, sharers))
+        floor = time - self.window
+        while events and events[0][0] <= floor:
+            events.popleft()
+        if len(events) < self.threshold:
+            return None
+        if self._last_fire is not None and time - self._last_fire < self.cooldown:
+            return None
+        self._last_fire = time
+        counts: dict[int, int] = {}
+        lines: list[int] = []
+        for _, line, mask in reversed(events):
+            for c in _sharer_cores(mask):
+                counts[c] = counts.get(c, 0) + 1
+            if line not in lines and len(lines) < self.max_lines:
+                lines.append(line)
+        return Verdict(
+            time=time,
+            detector=self.name,
+            score=len(events),
+            core=_accuse(counts),
+            lines=tuple(lines),
+            latency=time - self._first_alarm,
+        )
+
+
+class RegionEwmaDetector:
+    """Per-address-region EWMA of alarm activity.
+
+    Alarms (captures **and** pEvicts — captures lead pEvicts, buying
+    detection latency) bump an integer fixed-point EWMA for the line's
+    region (``line_addr >> region_bits``); per elapsed ``epoch`` of
+    cycles the EWMA decays geometrically by ``ewma >> decay_shift``
+    (a ``1 - 2**-decay_shift`` factor — gentle enough that a steady
+    one-alarm-per-epoch stream converges to
+    ``2**decay_shift`` units, not to an unreachable asymptote).  A
+    region whose EWMA reaches ``threshold`` units is under sustained
+    targeted pressure — the verdict names that region's recent lines.
+    """
+
+    name = "ewma"
+
+    def __init__(
+        self,
+        region_bits: int = 4,
+        epoch: int = 5000,
+        threshold: int = 3,
+        decay_shift: int = 2,
+        cooldown: int | None = None,
+        max_lines: int = 4,
+    ):
+        if region_bits < 0:
+            raise ValueError("region_bits must be >= 0")
+        if epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if decay_shift < 1:
+            raise ValueError("decay_shift must be >= 1")
+        self.region_bits = region_bits
+        self.epoch = epoch
+        self.threshold_scaled = threshold * EWMA_SCALE
+        self.decay_shift = decay_shift
+        self.cooldown = cooldown if cooldown is not None else epoch
+        self.max_lines = max_lines
+        # region -> [ewma_scaled, last_epoch, last_fire_time, lines, sharer_counts]
+        self._regions: dict[int, list] = {}
+        self._first_alarm: int | None = None
+
+    def observe(
+        self, kind: int, time: int, line_addr: int, core: int, sharers: int
+    ) -> Verdict | None:
+        if kind != ALARM_CAPTURE and kind != ALARM_PEVICT:
+            return None
+        if self._first_alarm is None:
+            self._first_alarm = time
+        region = line_addr >> self.region_bits
+        e = time // self.epoch
+        state = self._regions.get(region)
+        if state is None:
+            state = [0, e, None, [], {}]
+            self._regions[region] = state
+        gap = e - state[1]
+        if gap:
+            # Geometric decay, one (1 - 2**-k) factor per elapsed
+            # epoch.  64 factors shrink any reachable value to the
+            # sub-unit range, so longer gaps just reset.
+            value = state[0]
+            if gap >= 64:
+                value = 0
+            else:
+                shift = self.decay_shift
+                for _ in range(gap):
+                    value -= value >> shift
+            state[0] = value
+            state[1] = e
+        state[0] += EWMA_SCALE
+        lines = state[3]
+        if line_addr in lines:
+            lines.remove(line_addr)
+        lines.insert(0, line_addr)
+        del lines[self.max_lines:]
+        counts = state[4]
+        for c in _sharer_cores(sharers):
+            counts[c] = counts.get(c, 0) + 1
+        if state[0] < self.threshold_scaled:
+            return None
+        if state[2] is not None and time - state[2] < self.cooldown:
+            return None
+        state[2] = time
+        return Verdict(
+            time=time,
+            detector=self.name,
+            score=state[0] // EWMA_SCALE,
+            core=_accuse(counts),
+            lines=tuple(lines),
+            latency=time - self._first_alarm,
+        )
+
+
+class CrossCoreCorrelationDetector:
+    """pEvicts on one line whose sharer masks span >= 2 cores.
+
+    Tracks, per line, the pEvict alarms of the last ``window`` cycles;
+    fires when the line saw at least ``threshold`` of them *and* the
+    union of their directory masks names more than one core — the
+    line is genuinely bouncing between cores, not being victimised by
+    one core's own working set.
+    """
+
+    name = "xcore"
+
+    def __init__(
+        self,
+        window: int = 15000,
+        threshold: int = 3,
+        cooldown: int | None = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.window = window
+        self.threshold = threshold
+        self.cooldown = cooldown if cooldown is not None else window
+        # line -> deque[(time, sharers)]
+        self._lines: dict[int, deque[tuple[int, int]]] = {}
+        self._first_alarm: int | None = None
+        self._last_fire: int | None = None
+
+    def observe(
+        self, kind: int, time: int, line_addr: int, core: int, sharers: int
+    ) -> Verdict | None:
+        if kind != ALARM_PEVICT:
+            return None
+        if self._first_alarm is None:
+            self._first_alarm = time
+        events = self._lines.get(line_addr)
+        if events is None:
+            events = deque()
+            self._lines[line_addr] = events
+        events.append((time, sharers))
+        floor = time - self.window
+        while events and events[0][0] <= floor:
+            events.popleft()
+        if len(events) < self.threshold:
+            return None
+        union = 0
+        counts: dict[int, int] = {}
+        for _, mask in events:
+            union |= mask
+            for c in _sharer_cores(mask):
+                counts[c] = counts.get(c, 0) + 1
+        if union & (union - 1) == 0:
+            return None  # zero or one core — no cross-core evidence
+        if self._last_fire is not None and time - self._last_fire < self.cooldown:
+            return None
+        self._last_fire = time
+        return Verdict(
+            time=time,
+            detector=self.name,
+            score=len(events),
+            core=_accuse(counts),
+            lines=(line_addr,),
+            latency=time - self._first_alarm,
+        )
+
+
+#: Registry: detector name -> class (CLI, fig10, conformance specs).
+DETECTORS = {
+    WindowedRateDetector.name: WindowedRateDetector,
+    RegionEwmaDetector.name: RegionEwmaDetector,
+    CrossCoreCorrelationDetector.name: CrossCoreCorrelationDetector,
+}
+
+
+def build_detector(name: str, params: dict | None = None):
+    """Instantiate a registry detector from plain data (picklable
+    specs for the experiment fan-out)."""
+    if name not in DETECTORS:
+        raise ValueError(
+            f"unknown detector {name!r} (expected one of {sorted(DETECTORS)})"
+        )
+    return DETECTORS[name](**(params or {}))
+
+
+def replay(alarms, detectors) -> list[Verdict]:
+    """Feed a recorded alarm stream through fresh detectors.
+
+    Returns every verdict in stream order.  Because detectors are pure
+    functions of the stream, this reproduces exactly the verdicts an
+    online run with the same detectors would have produced — the
+    equivalence the ROC sweep relies on to evaluate many operating
+    points from one simulation.
+    """
+    verdicts: list[Verdict] = []
+    for kind, time, line_addr, core, sharers in alarms:
+        for detector in detectors:
+            verdict = detector.observe(kind, time, line_addr, core, sharers)
+            if verdict is not None:
+                verdicts.append(verdict)
+    return verdicts

@@ -118,7 +118,11 @@ def hierarchy_access(h):
     name = engine_name()
     if name == "python":
         return h.access
-    key = (name, id(h.monitor))
+    # The alarm bus joins the cache key: its presence is resolved at
+    # kernel build time (publish instructions are baked in or omitted),
+    # so attaching/detaching a bus must invalidate the cached kernel
+    # just like swapping the monitor does.
+    key = (name, id(h.monitor), id(getattr(h.monitor, "alarms", None)))
     if h._kernel is not None and h._kernel_key == key:
         return h._kernel
     from repro.engine.specialize import build_access_kernel

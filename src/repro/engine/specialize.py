@@ -724,6 +724,19 @@ def build_access_kernel(h, engine: str = "specialized"):
         )
 
     # Monitor specialization (bindings join the closure-cell prelude).
+    #
+    # Alarm-bus gating happens here, at build time, exactly like
+    # ``needs_all_evictions``: a monitor without an attached bus (and
+    # every monitor-free config) compiles kernels containing no
+    # publish instruction at all, so unmonitored and un-bussed runs
+    # pay literally zero for the detection subsystem.  The pEvict
+    # publish itself lives inside ``on_llc_eviction`` (the eviction
+    # hook is a call in every monitored kernel, never inlined), so it
+    # survives specialization by construction — only the *capture*
+    # path is fully inlined and therefore needs the publish baked in
+    # below.  The baked tuple must stay bit-identical to the generic
+    # ``PiPoMonitor.on_access`` publish (kind 0, core -1, sharers 0).
+    bus = getattr(monitor, "alarms", None) if monitor is not None else None
     prelude = ""
     evict_gated = (
         "if vword & 2:\n"
@@ -736,6 +749,9 @@ def build_access_kernel(h, engine: str = "specialized"):
         subs["FILL_BASE"] = f"version << {VERSION_SHIFT}"
         subs["EVICT_HOOK"] = _ind("pass", 12)
     elif kind == "generic":
+        # Capture publishing needs no baking here: the generic kind
+        # calls the monitor's own ``on_access``, whose publish is the
+        # same tuple the pipo kinds inline — streams stay identical.
         prelude = (
             "    mon_access = monitor.on_access\n"
             "    on_evict = monitor.on_llc_eviction"
@@ -762,12 +778,15 @@ def build_access_kernel(h, engine: str = "specialized"):
         )
         if track:
             prelude += "\n    cap_lines = monitor.captured_lines"
+        if bus is not None:
+            prelude += "\n    publish = monitor.alarms.publish"
         thresh = monitor.filter.security_threshold
         on_access = (
             "mstats.accesses += 1\n"
             f"if c_access(line_addr) >= {thresh}:\n"
             "    mstats.captures += 1\n"
             + ("    cap_lines.add(line_addr)\n" if track else "")
+            + ("    publish(0, t, line_addr, -1, 0)\n" if bus is not None else "")
             + "    captured = True\n"
             "else:\n"
             "    captured = False"
@@ -789,11 +808,18 @@ def build_access_kernel(h, engine: str = "specialized"):
         )
         if track:
             prelude += "\n    cap_lines = monitor.captured_lines"
+        if bus is not None:
+            prelude += "\n    publish = monitor.alarms.publish"
         fsubs = filter_subs(monitor.filter)
         hit_tail = (
             "    if f_sec >= {thresh}:\n"
             "        mstats.captures += 1\n"
             + ("        cap_lines.add(line_addr)\n" if track else "")
+            + (
+                "        publish(0, t, line_addr, -1, 0)\n"
+                if bus is not None
+                else ""
+            )
             + "        captured = True\n"
             "    else:\n"
             "        captured = False"

@@ -10,6 +10,9 @@ fig7_reverse        Fig. 7 + §VI-B (brute force / reverse attacks)
 fig8_performance    Fig. 8(a)+(b) (10 mixes × filter sizes)
 fig9_flush_attacks  extension (Flush+Reload / Flush+Flush / covert
                     channel vs baseline, PiPoMonitor, BITP)
+fig10_detection     extension (online detection & response: alarm-bus
+                    ROC surface, OS response policies, adaptive
+                    attacker)
 secthr_sensitivity  §VII-C (secThr ∈ {1,2,3})
 overhead_table      §VII-D (storage and area)
 baseline_comparison §VIII extension (vs table recorder / BITP)

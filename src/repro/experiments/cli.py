@@ -5,15 +5,19 @@ Examples::
     repro-experiment fig3
     repro-experiment fig8 --full --seed 7
     repro-experiment fig8 --jobs 8
+    repro-experiment fig10 --engine c
+    repro-experiment list
     repro-experiment all
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import inspect
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import (
     baseline_comparison,
@@ -24,6 +28,7 @@ from repro.experiments import (
     fig7_reverse,
     fig8_performance,
     fig9_flush_attacks,
+    fig10_detection,
     overhead_table,
     secthr_sensitivity,
 )
@@ -35,11 +40,104 @@ EXPERIMENTS = {
     "fig7": fig7_reverse,
     "fig8": fig8_performance,
     "fig9": fig9_flush_attacks,
+    "fig10": fig10_detection,
     "secthr": secthr_sensitivity,
     "overhead": overhead_table,
     "baselines": baseline_comparison,
     "ablation": defense_ablation,
 }
+
+
+def _load_conformance_scenarios():
+    """Import ``tests/conformance/scenarios.py`` by path.
+
+    The conformance matrix is the single source of truth for what the
+    repo can replay (scenario × defence, pinned seeds); it lives with
+    the tests, so the CLI reaches it relative to the repo root rather
+    than duplicating the list.  Returns None outside a source checkout
+    (e.g. an installed package without the tests tree).
+    """
+    root = Path(__file__).resolve().parents[3]
+    path = root / "tests" / "conformance" / "scenarios.py"
+    if not path.exists():
+        return None
+    spec = importlib.util.spec_from_file_location(
+        "repro_conformance_scenarios", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def scenario_matrix_text() -> str:
+    """The scenario × defence × engine matrix, from one source of
+    truth: ``tests/conformance/scenarios.py`` (what is pinned) plus
+    ``repro.baselines.registry`` (what is buildable) plus
+    ``repro.engine`` (what executes it)."""
+    from repro.baselines.registry import DEFENCES, EXTRA_DEFENCES
+    from repro.detection import DETECTORS, RESPONSES
+    from repro.engine import available_engines
+    from repro.experiments.common import format_table
+
+    lines: list[str] = []
+    module = _load_conformance_scenarios()
+    if module is None:
+        lines.append(
+            "conformance matrix unavailable (no tests/ tree next to this "
+            "installation) — defences and engines below are still live"
+        )
+        families: dict[str, set[str]] = {}
+    else:
+        # Detection scenarios are detector × response pairings, not
+        # attack × defence cells — they get their own block below.
+        detection_names = set(getattr(module, "DETECTION_SCENARIOS", ()))
+        families = {}
+        for name in sorted(module.SCENARIOS):
+            if name in detection_names:
+                continue
+            family, _, defence = name.rpartition("__")
+            families.setdefault(family, set()).add(defence)
+        all_defences = [
+            d for d in (*DEFENCES, *EXTRA_DEFENCES)
+            if any(d in cover for cover in families.values())
+        ]
+        rows = [
+            [family, *("x" if d in cover else "" for d in all_defences)]
+            for family, cover in sorted(families.items())
+        ]
+        lines.append(
+            "conformance scenario matrix (tests/conformance/scenarios.py, "
+            f"seed {module.SEED}):"
+        )
+        lines.append(format_table(["scenario", *all_defences], rows))
+        if detection_names:
+            lines.append(
+                "detection scenarios (detector x response pairings, "
+                "monitor defences):"
+            )
+            lines.extend(f"  {name}" for name in sorted(detection_names))
+        lines.append(
+            f"{len(module.SCENARIOS)} pinned scenarios; replay with "
+            "`python tests/conformance/regenerate.py --check`"
+        )
+    lines.append("")
+    lines.append(
+        "defences (repro.baselines.registry): "
+        + ", ".join((*DEFENCES, *EXTRA_DEFENCES))
+    )
+    lines.append(
+        "engines (this host): " + ", ".join(available_engines())
+        + "  [select with --engine / REPRO_ENGINE; results are "
+        "bit-identical across engines]"
+    )
+    lines.append(
+        "detectors (repro.detection): " + ", ".join(sorted(DETECTORS))
+    )
+    lines.append(
+        "responses (repro.detection): " + ", ".join(sorted(RESPONSES))
+    )
+    lines.append("experiments: " + ", ".join(sorted(EXPERIMENTS)))
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,8 +147,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment id (or 'all')",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment id, 'all', or 'list' (print the scenario x "
+             "defence x engine matrix)",
+    )
+    parser.add_argument(
+        "--list-scenarios", action="store_true",
+        help="print the scenario x defence x engine matrix and exit "
+             "(same output as the 'list' command)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -75,6 +180,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.list_scenarios or args.experiment == "list":
+        print(scenario_matrix_text())
+        return 0
+    if args.experiment is None:
+        parser.error(
+            "an experiment id is required (or --list-scenarios / 'list')"
+        )
     if args.engine is not None:
         from repro.engine import set_engine
 

@@ -1,4 +1,4 @@
-"""Discrete-event queue for the timing simulator.
+"""Discrete-event queue and alarm bus for the timing simulator.
 
 PiPoMonitor schedules *delayed prefetches* ("the latter waits for a
 pre-defined delay, and then sends a request to the memory fetch queue")
@@ -9,6 +9,18 @@ with core memory accesses in timestamp order.
 
 Ties are broken by insertion order (FIFO), which keeps simulations
 deterministic.
+
+The **alarm bus** (:class:`AlarmBus`) is the paper's "inform the OS"
+channel: monitors publish per-line threshold crossings (*captures*)
+and pEvict messages as timestamped tuples instead of only bumping
+counters, and the online detection subsystem
+(:mod:`repro.detection`) consumes them.  Publishing is strictly
+observational — the bus mutates no simulator state — so attaching a
+bus with no response policy leaves every simulation bit-identical.
+The bus is opt-in per monitor (``monitor.alarms``), and the kernel
+generator resolves its presence at build time exactly like
+``needs_all_evictions``: configurations without a bus compile kernels
+containing no publish instructions at all.
 """
 
 from __future__ import annotations
@@ -92,3 +104,70 @@ class EventQueue:
     def _discard_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+
+
+# ----------------------------------------------------------------------
+# Alarm bus
+# ----------------------------------------------------------------------
+
+#: Alarm kinds.  ``CAPTURE`` is the filter's threshold crossing (the
+#: Security response reaching secThr on an Access); ``PEVICT`` is the
+#: monitor's pEvict message for a tagged line the LLC lost;
+#: ``SUPPRESSED`` is a tagged-line eviction swallowed by the
+#: no-endless-prefetch rule (no prefetch is issued, but the OS-facing
+#: stream still sees that the line left the LLC untouched).
+ALARM_CAPTURE = 0
+ALARM_PEVICT = 1
+ALARM_SUPPRESSED = 2
+
+ALARM_KIND_NAMES = ("capture", "pevict", "suppressed")
+
+
+class AlarmBus:
+    """Timestamped monitor→OS alarm stream.
+
+    Alarms are plain tuples ``(kind, time, line_addr, core, sharers)``
+    — no per-alarm object allocation:
+
+    * ``kind``      — one of the ``ALARM_*`` constants above;
+    * ``time``      — simulation cycle of the event;
+    * ``line_addr`` — the accused cache line;
+    * ``core``      — attributed core, ``-1`` when the publishing
+      hook has no requester information (the monitor sits at the
+      memory controller, like the paper's);
+    * ``sharers``   — the LLC directory presence mask at eviction time
+      (``0`` for captures) — the per-core attribution the cross-core
+      detectors key on.
+
+    Subscribers are called synchronously in subscription order, which
+    keeps alarm handling deterministic; ``log=True`` additionally
+    records every alarm for offline replay (the ROC sweeps in
+    ``fig10`` re-run one simulation's stream through many detector
+    configurations).  Publishing never touches simulator state, so a
+    subscriber-free, log-only bus is semantically invisible.
+    """
+
+    __slots__ = ("published", "log", "_subscribers")
+
+    def __init__(self, log: bool = False):
+        self.published = 0
+        self.log: list[tuple[int, int, int, int, int]] | None = (
+            [] if log else None
+        )
+        self._subscribers: list[Callable[[int, int, int, int, int], Any]] = []
+
+    def subscribe(self, fn: Callable[[int, int, int, int, int], Any]) -> None:
+        """Add a subscriber; called as ``fn(kind, time, line_addr,
+        core, sharers)`` for every subsequent publish."""
+        self._subscribers.append(fn)
+
+    def publish(
+        self, kind: int, time: int, line_addr: int, core: int, sharers: int
+    ) -> None:
+        """Publish one alarm to the log and every subscriber."""
+        self.published += 1
+        log = self.log
+        if log is not None:
+            log.append((kind, time, line_addr, core, sharers))
+        for fn in self._subscribers:
+            fn(kind, time, line_addr, core, sharers)

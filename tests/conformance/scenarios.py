@@ -39,6 +39,7 @@ from repro.attacks.flush_reload import run_flush_attack  # noqa: E402
 from repro.attacks.primeprobe import run_prime_probe_attack  # noqa: E402
 from repro.baselines.registry import DEFENCES  # noqa: E402
 from repro.cpu.system import run_defended_workloads  # noqa: E402
+from repro.detection import DetectionSpec  # noqa: E402
 from repro.experiments.common import (  # noqa: E402
     scaled_mix_workloads,
     scaled_system_config,
@@ -128,6 +129,120 @@ def benign(defence: str):
     return canonical({"simulation": simulation})
 
 
+# ----------------------------------------------------------------------
+# Detection & response scenarios (the online subsystem).
+#
+# Each pins one detector × response pairing end-to-end: the alarm
+# stream (published from inside the engine kernels — the publish sites
+# are baked in at kernel build time, so these scenarios are also the
+# cross-engine gate for that machinery), the detector's verdicts, and
+# the response's mid-run side effects on the simulation itself.
+# ----------------------------------------------------------------------
+
+def _detection_payload(simulation, monitor_stats, channel):
+    detection = simulation.extra["detection"]
+    return canonical({
+        "channel": channel,
+        "monitor": monitor_stats,
+        "detection": detection,
+        "simulation": simulation,
+    })
+
+
+def detect_flush_reload_rate_log():
+    """Loud Flush+Reload, rate detector, log-only response: the
+    observation-only mode — simulation must match the undetected run's
+    dynamics exactly (publishing is free of side effects)."""
+    outcome = run_flush_attack(
+        "flush_reload", "pipo", iterations=ATTACK_ITERATIONS, seed=SEED,
+        detection=DetectionSpec(
+            detectors=(("rate", {"window": 12000, "threshold": 3}),),
+        ),
+    )
+    return _detection_payload(
+        outcome.simulation, outcome.monitor_stats,
+        {"square_observed": outcome.square_observed},
+    )
+
+
+def detect_flush_flush_ewma_flush_suspect():
+    """Stealthy Flush+Flush, per-region EWMA detector, flush bursts as
+    the response — responses re-enter the hierarchy mid-run."""
+    outcome = run_flush_attack(
+        "flush_flush", "pipo", iterations=ATTACK_ITERATIONS, seed=SEED,
+        detection=DetectionSpec(
+            detectors=(("ewma", {}),), response="flush_suspect",
+        ),
+    )
+    return _detection_payload(
+        outcome.simulation, outcome.monitor_stats,
+        {"square_observed": outcome.square_observed},
+    )
+
+
+def detect_covert_xcore_isolate():
+    """Covert channel, cross-core correlation detector, TPPD-style
+    isolation — the guard refills interleave with both endpoints."""
+    outcome = run_covert_channel(
+        "pipo", n_bits=COVERT_BITS, window=COVERT_WINDOW, seed=SEED,
+        detection=DetectionSpec(
+            detectors=(("xcore", {}),), response="isolate",
+        ),
+    )
+    return _detection_payload(
+        outcome.simulation, outcome.monitor_stats,
+        {"sent_bits": outcome.sent_bits,
+         "received_bits": outcome.received_bits},
+    )
+
+
+def detect_adaptive_rate_throttle():
+    """Adaptive Flush+Reload vs throttle_core: the attacker reacts to
+    the response (backs off), the response reacts to the attacker —
+    the full feedback loop, pinned bit-exactly."""
+    outcome = run_flush_attack(
+        "adaptive_flush_reload", "pipo", iterations=ATTACK_ITERATIONS,
+        seed=SEED,
+        detection=DetectionSpec(
+            detectors=(("rate", {"window": 5000, "threshold": 3}),),
+            response="throttle_core",
+        ),
+    )
+    return _detection_payload(
+        outcome.simulation, outcome.monitor_stats,
+        {"square_observed": outcome.square_observed,
+         "probe_rate": outcome.extra["probe_rate"],
+         "backoff_events": outcome.extra["backoff_events"]},
+    )
+
+
+def detect_benign_rate_log():
+    """The false-positive path: a Table III mix under the monitor with
+    an aggressive rate detector, log-only (alarm stream unlogged — the
+    verdict counters pin the behaviour without a bulky fixture)."""
+    config = scaled_system_config(False, monitor_enabled=False)
+    workloads = scaled_mix_workloads("mix1", False)
+    simulation, monitor, _ = run_defended_workloads(
+        config, workloads, "pipo", seed=SEED,
+        instructions_per_core=BENIGN_INSTRUCTIONS,
+        detection=DetectionSpec(
+            detectors=(("rate", {"window": 24000, "threshold": 2}),),
+            log_alarms=False,
+        ),
+    )
+    return _detection_payload(simulation, monitor.stats, {})
+
+
+DETECTION_SCENARIOS = {
+    "detect__flush_reload__rate_log": detect_flush_reload_rate_log,
+    "detect__flush_flush__ewma_flush_suspect":
+        detect_flush_flush_ewma_flush_suspect,
+    "detect__covert__xcore_isolate": detect_covert_xcore_isolate,
+    "detect__adaptive__rate_throttle": detect_adaptive_rate_throttle,
+    "detect__benign_mix1__rate_log": detect_benign_rate_log,
+}
+
+
 def _build_registry():
     scenarios = {}
     for defence in ("none", "pipo"):
@@ -143,6 +258,7 @@ def _build_registry():
         scenarios[f"covert__{defence}"] = lambda d=defence: covert(d)
     for defence in DEFENCES:
         scenarios[f"benign_mix1__{defence}"] = lambda d=defence: benign(d)
+    scenarios.update(DETECTION_SCENARIOS)
     return scenarios
 
 

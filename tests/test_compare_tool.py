@@ -1,0 +1,95 @@
+"""``benchmarks/compare.py`` — the perf-diff CLI's contract.
+
+Pinned here because the script is a CI gate: it must exit non-zero on
+a regression even when only a single benchmark pair is comparable,
+and it must tolerate pre-PR-4 records that carry no ``engine`` stamp
+(printing ``unknown``) instead of erroring — trajectory history spans
+PRs that predate the stamp.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_COMPARE = Path(__file__).resolve().parents[1] / "benchmarks" / "compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _COMPARE)
+compare_mod = importlib.util.module_from_spec(_spec)
+sys.modules["bench_compare"] = compare_mod
+_spec.loader.exec_module(compare_mod)
+
+
+def _record(path: Path, benchmarks: dict, engine: str | None = None) -> str:
+    record = {"benchmarks": {
+        name: {"ops_per_sec": ops} for name, ops in benchmarks.items()
+    }}
+    if engine is not None:
+        record["engine"] = engine
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+def test_records_without_engine_print_unknown(tmp_path, capsys):
+    base = _record(tmp_path / "a.json", {"bench": 100.0})
+    cand = _record(tmp_path / "b.json", {"bench": 101.0})
+    assert compare_mod.main([base, cand]) == 0
+    out = capsys.readouterr().out
+    assert "engines: baseline=unknown  candidate=unknown" in out
+
+
+def test_mixed_engine_stamps_still_compare(tmp_path, capsys):
+    base = _record(tmp_path / "a.json", {"bench": 100.0})
+    cand = _record(tmp_path / "b.json", {"bench": 99.0}, engine="c")
+    assert compare_mod.main([base, cand]) == 0
+    out = capsys.readouterr().out
+    assert "engines: baseline=unknown  candidate=c" in out
+
+
+def test_single_comparable_pair_regression_exits_nonzero(tmp_path, capsys):
+    # Only "shared" exists in both records; it regressed 50%.  The
+    # disjoint benchmarks must not mask the failure.
+    base = _record(tmp_path / "a.json", {"shared": 100.0, "only_old": 5.0})
+    cand = _record(tmp_path / "b.json", {"shared": 50.0, "only_new": 5.0})
+    assert compare_mod.main([base, cand]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "not in both records (ignored): only_new, only_old" in out
+
+
+def test_single_comparable_pair_within_threshold_passes(tmp_path, capsys):
+    base = _record(tmp_path / "a.json", {"shared": 100.0})
+    cand = _record(tmp_path / "b.json", {"shared": 95.0})
+    assert compare_mod.main([base, cand]) == 0
+    assert "no regression" in capsys.readouterr().out
+
+
+def test_disjoint_records_error_cleanly(tmp_path):
+    base = _record(tmp_path / "a.json", {"x": 1.0})
+    cand = _record(tmp_path / "b.json", {"y": 1.0})
+    with pytest.raises(SystemExit, match="share no benchmarks"):
+        compare_mod.main([base, cand])
+
+
+def test_trajectory_entries_without_engine(tmp_path, capsys, monkeypatch):
+    trajectory = tmp_path / "BENCH_trajectory.json"
+    trajectory.write_text(json.dumps([
+        {"commit": "aaaa11112222",  # pre-PR-4 shape: no engine field
+         "benchmarks": {"bench": {"ops_per_sec": 100.0}}},
+        {"commit": "bbbb33334444", "engine": "specialized",
+         "benchmarks": {"bench": {"ops_per_sec": 60.0}}},
+    ]))
+    monkeypatch.setattr(compare_mod, "TRAJECTORY_PATH", trajectory)
+    assert compare_mod.main(["aaaa", "bbbb", "--trajectory"]) == 1
+    out = capsys.readouterr().out
+    assert "engines: baseline=unknown  candidate=specialized" in out
+    assert "REGRESSION" in out
+
+
+def test_trajectory_entry_missing_benchmarks_errors(tmp_path, monkeypatch):
+    trajectory = tmp_path / "BENCH_trajectory.json"
+    trajectory.write_text(json.dumps([{"commit": "cccc"}]))
+    monkeypatch.setattr(compare_mod, "TRAJECTORY_PATH", trajectory)
+    with pytest.raises(SystemExit, match="no benchmarks section"):
+        compare_mod.main(["cccc", "cccc", "--trajectory"])

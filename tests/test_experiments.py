@@ -135,7 +135,7 @@ class TestExperimentSmoke:
 class TestCli:
     def test_registry_covers_all_artefacts(self):
         assert set(EXPERIMENTS) == {
-            "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+            "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
             "secthr", "overhead", "baselines", "ablation",
         }
 
