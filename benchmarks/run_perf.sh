@@ -45,6 +45,7 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$RAW" "$OUT" "$TRAJECTORY" "$GIT_SHA$GIT_DIRTY" "$ENGINE" <<'EOF'
 import json
+import os
 import sys
 
 raw_path, out_path, trajectory_path, git_sha, engine = sys.argv[1:6]
@@ -80,9 +81,17 @@ for bench in raw["benchmarks"]:
         "rounds_seconds": [round(v, 6) for v in bench["stats"]["data"]],
     }
 
-with open(out_path, "w") as fh:
-    json.dump(record, fh, indent=2, sort_keys=True)
-    fh.write("\n")
+def atomic_write(path, payload):
+    # write-temp-then-rename: an interrupted run can never leave a
+    # truncated record or trajectory behind (same directory, so the
+    # os.replace is atomic).
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+atomic_write(out_path, record)
 
 # Append this run to the machine-readable trajectory (one entry per
 # invocation; compact form only — per-round data stays in the raw dump).
@@ -102,9 +111,7 @@ trajectory.append({
         for name, entry in record["benchmarks"].items()
     },
 })
-with open(trajectory_path, "w") as fh:
-    json.dump(trajectory, fh, indent=2, sort_keys=True)
-    fh.write("\n")
+atomic_write(trajectory_path, trajectory)
 
 width = max(len(n) for n in record["benchmarks"])
 print(f"\n{'benchmark'.ljust(width)}  {'ops/sec':>14}  {'best':>10}")

@@ -29,6 +29,7 @@ import os
 
 from repro.baselines.registry import build_defence
 from repro.core.config import SystemConfig
+from repro.engine import engine_provenance
 from repro.core.pipomonitor import PiPoMonitor
 from repro.cpu.core import Core
 from repro.cpu.multicore import MulticoreSystem, SimulationResult
@@ -112,6 +113,7 @@ def run_workloads(
     if monitor is not None:
         result.extra["filter_occupancy"] = monitor.filter.occupancy()
         result.extra["prefetch_delay"] = monitor.prefetch_delay
+    result.extra["engine"] = engine_provenance()
     return result
 
 
@@ -180,4 +182,9 @@ def run_defended_workloads(
     result = MulticoreSystem(hierarchy, cores, events, detection=unit).run(
         max_instructions_per_core=instructions_per_core
     )
+    # Engine provenance rides on every assembled run so fleet-level
+    # aggregation can prove it never mixed engines (or see exactly
+    # where a toolchain-less worker degraded c -> specialized).
+    # Conformance digests scrub this key — provenance, not semantics.
+    result.extra["engine"] = engine_provenance()
     return result, monitor, hierarchy

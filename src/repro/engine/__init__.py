@@ -34,6 +34,7 @@ rather than approximating.
 from __future__ import annotations
 
 import os
+import warnings
 
 ENGINES: tuple[str, ...] = ("python", "specialized", "c")
 DEFAULT_ENGINE = "specialized"
@@ -69,25 +70,80 @@ def set_engine(name: str) -> None:
     os.environ[_ENV_VAR] = name
 
 
+class EngineFallbackWarning(UserWarning):
+    """The requested engine degraded to a slower one (e.g. ``c`` with
+    no cffi/toolchain).  Emitted once per (requested, actual) pair per
+    process — loud enough that a fleet report cannot silently mix
+    engines, quiet enough not to spam a grid of workers."""
+
+
+#: (requested, actual) pairs already warned about in this process.
+_FALLBACK_WARNED: set[tuple[str, str]] = set()
+
+
+def note_fallback(requested: str, actual: str, reason: str | None) -> None:
+    """Emit the structured once-per-process degradation warning."""
+    key = (requested, actual)
+    if key in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(key)
+    warnings.warn(
+        f"REPRO_ENGINE={requested!r} degraded to {actual!r}"
+        f" ({reason or 'backend unavailable'}); results are "
+        "bit-identical but slower — provenance stamps record the "
+        "effective engine",
+        EngineFallbackWarning,
+        stacklevel=3,
+    )
+
+
 def effective_engine() -> str:
     """The engine that will actually run, after global degradation.
 
     ``engine_name()`` reports the *request*; this resolves the one
     documented global fallback — ``c`` without a buildable cffi
-    extension degrades to ``specialized``.  Provenance stamps
-    (benchmark records, artefact headers) must use this, never the
-    request, so a toolchain-less host cannot label specialized-engine
-    numbers as C numbers.  (Per-object fallbacks — instrumented
-    filters, unsupported policies — remain config-local and are not
-    reflected here.)
+    extension degrades to ``specialized``, with a structured
+    :class:`EngineFallbackWarning` the first time it happens in a
+    process.  Provenance stamps (benchmark records, artefact headers,
+    ``result.extra["engine"]``) must use this, never the request, so a
+    toolchain-less host cannot label specialized-engine numbers as C
+    numbers.  (Per-object fallbacks — instrumented filters,
+    unsupported policies — remain config-local and are not reflected
+    here.)
     """
     name = engine_name()
     if name == "c":
         from repro.engine import c_backend
 
         if not c_backend.available():
+            note_fallback("c", "specialized", c_backend.unavailable_reason())
             return "specialized"
     return name
+
+
+def engine_provenance() -> dict:
+    """The stamp grid cells and fleet reports carry in
+    ``result.extra["engine"]``: what was asked for, what actually ran,
+    and whether a fallback happened (plus why, when known).
+
+    Conformance digests scrub this key (it is provenance, not
+    semantics — results are bit-identical across engines by
+    construction), so stamping cannot drift the goldens.
+    """
+    requested = engine_name()
+    effective = effective_engine()
+    stamp = {
+        "requested": requested,
+        "effective": effective,
+        "fallback": requested != effective,
+    }
+    if requested != effective and requested == "c":
+        from repro.engine import c_backend
+
+        reason = c_backend.unavailable_reason()
+        if reason:
+            stamp["reason"] = reason
+    return stamp
 
 
 def available_engines(probe_c: bool = True) -> tuple[str, ...]:
@@ -156,6 +212,12 @@ def filter_access(flt):
 
         if c_backend.install(flt):
             return flt.access
+        if not c_backend.available():
+            # Toolchain/cffi missing is a host-level degradation and
+            # warrants the once-per-process warning; per-filter
+            # ineligibility (instrumented, wide fingerprints) is a
+            # documented config-local fallback and stays quiet.
+            note_fallback("c", "specialized", c_backend.unavailable_reason())
         name = "specialized"
     if name == "specialized":
         from repro.engine.specialize import build_filter_kernel

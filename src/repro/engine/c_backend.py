@@ -37,6 +37,7 @@ import hashlib
 import os
 import shutil
 import tempfile
+import traceback
 from pathlib import Path
 
 _U64 = (1 << 64) - 1
@@ -204,6 +205,12 @@ _MODULE_NAME = "_repro_acf"
 #: missing toolchain is probed exactly once per process).
 _LIB: object = None
 
+#: One-line diagnosis of the failed build attempt (None while the
+#: backend is unprobed or available).  Feeds the structured fallback
+#: warning in :mod:`repro.engine` — degradation stays graceful but is
+#: never silent.
+_LIB_ERROR: str | None = None
+
 
 def _cache_dir() -> Path:
     override = os.environ.get("REPRO_ENGINE_CACHE", "")
@@ -215,7 +222,7 @@ def _cache_dir() -> Path:
 def _load_lib():
     """Build (or load the cached build of) the extension; returns the
     ``(ffi, lib)`` pair or None when cffi/toolchain are unavailable."""
-    global _LIB
+    global _LIB, _LIB_ERROR
     if _LIB is not None:
         return _LIB if _LIB is not False else None
     try:
@@ -267,8 +274,11 @@ def _load_lib():
         mod = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(mod)
         _LIB = (mod.ffi, mod.lib)
-    except Exception:
+    except Exception as exc:
         _LIB = False
+        _LIB_ERROR = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
         return None
     return _LIB
 
@@ -276,6 +286,13 @@ def _load_lib():
 def available() -> bool:
     """True when the C backend can be (or already was) built."""
     return _load_lib() is not None
+
+
+def unavailable_reason() -> str | None:
+    """Why the last build attempt failed (None when available or
+    unprobed) — e.g. ``ModuleNotFoundError: No module named 'cffi'``."""
+    _load_lib()
+    return _LIB_ERROR
 
 
 class CFilterState:

@@ -113,7 +113,9 @@ def run(
     ]
     outcomes = {
         scheme: (mean_time, fp)
-        for scheme, mean_time, fp in run_cells(cells, _run_benign_cell, jobs=jobs)
+        for scheme, mean_time, fp in run_cells(
+            cells, _run_benign_cell, jobs=jobs, label="baselines"
+        )
     }
     base_time = outcomes["base"][0]
     pipo_time, pipo_fp = outcomes["pipo"]

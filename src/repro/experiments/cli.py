@@ -6,8 +6,17 @@ Examples::
     repro-experiment fig8 --full --seed 7
     repro-experiment fig8 --jobs 8
     repro-experiment fig10 --engine c
+    repro-experiment fig9 --jobs 4 --checkpoint-dir .ckpt --resume
     repro-experiment list
     repro-experiment all
+
+Fault tolerance: grid experiments run through the supervised fan-out
+(:mod:`repro.experiments.parallel`) — crashed or hung workers are
+detected and their cells replayed (bit-identically, cells are pure up
+to their seed).  ``--cell-timeout`` / ``--retries`` / ``--on-failure``
+tune the supervisor; ``--checkpoint-dir`` streams completed cells to a
+digest-keyed shard and ``--resume`` replays only the missing ones
+after a kill.  See PERFORMANCE.md ("Fault-tolerance contract").
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from __future__ import annotations
 import argparse
 import importlib.util
 import inspect
+import os
 import sys
 import time
 from pathlib import Path
@@ -177,9 +187,59 @@ def main(argv: list[str] | None = None) -> int:
              "back when no toolchain).  Results are bit-identical "
              "across engines.",
     )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell deadline for the supervised fan-out (sets "
+             "REPRO_CELL_TIMEOUT): a worker past it is terminated and "
+             "its cell replayed.  0/unset = no deadline.",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="replays allowed per failed cell (sets REPRO_RETRIES; "
+             "default 2).  Replays are bit-identical — cells are pure "
+             "up to their seed.",
+    )
+    parser.add_argument(
+        "--on-failure", choices=("raise", "partial"), default=None,
+        help="what exhausted retries do (sets REPRO_ON_FAILURE): "
+             "'raise' (default) fails the grid with a structured "
+             "report after the surviving cells finish; 'partial' "
+             "returns the grid with CellFailure markers in the failed "
+             "slots.",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="stream completed cells to a digest-keyed JSONL shard in "
+             "DIR (sets REPRO_CHECKPOINT_DIR) so an interrupted grid "
+             "can resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay only the cells missing from the checkpoint shard "
+             "(sets REPRO_RESUME=1; requires --checkpoint-dir or "
+             "REPRO_CHECKPOINT_DIR)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.cell_timeout is not None:
+        if args.cell_timeout < 0:
+            parser.error("--cell-timeout must be >= 0")
+        os.environ["REPRO_CELL_TIMEOUT"] = str(args.cell_timeout)
+    if args.retries is not None:
+        if args.retries < 0:
+            parser.error("--retries must be >= 0")
+        os.environ["REPRO_RETRIES"] = str(args.retries)
+    if args.on_failure is not None:
+        os.environ["REPRO_ON_FAILURE"] = args.on_failure
+    if args.checkpoint_dir:
+        os.environ["REPRO_CHECKPOINT_DIR"] = args.checkpoint_dir
+    if args.resume:
+        if not os.environ.get("REPRO_CHECKPOINT_DIR", "").strip():
+            parser.error(
+                "--resume needs --checkpoint-dir (or REPRO_CHECKPOINT_DIR)"
+            )
+        os.environ["REPRO_RESUME"] = "1"
     if args.list_scenarios or args.experiment == "list":
         print(scenario_matrix_text())
         return 0

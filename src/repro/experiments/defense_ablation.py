@@ -74,7 +74,7 @@ def run(
         for policy in POLICIES
         for delay in (None, *DELAYS)
     ]
-    outcomes = run_cells(cells, _run_cell, jobs=jobs)
+    outcomes = run_cells(cells, _run_cell, jobs=jobs, label="ablation")
     recoveries = {
         (policy, delay): (recovery, observed)
         for policy, delay, recovery, observed in outcomes

@@ -1,0 +1,155 @@
+"""Deterministic fault injection for the supervised experiment fan-out.
+
+``REPRO_FAULTS`` turns worker processes hostile on demand::
+
+    REPRO_FAULTS=crash:0.1,hang:0.05,corrupt:0.2 repro-experiment fig9 --jobs 4
+
+Three fault kinds cover the three ways a real fleet loses cells:
+
+``crash``
+    the worker dies mid-cell with ``os._exit`` — models an OOM kill,
+    a segfaulting extension, or a machine reboot.  The supervisor sees
+    the pipe close (EOF) and replays the cell on a fresh worker.
+``hang``
+    the worker stalls for ``REPRO_FAULT_HANG`` seconds (default 30)
+    before continuing — models a livelock or a wedged syscall.  With
+    ``REPRO_CELL_TIMEOUT`` below the stall the supervisor terminates
+    the worker and replays the cell; without a timeout the run merely
+    slows down (a stall is not a death).
+``corrupt``
+    the worker flips bytes in the pickled result *after* computing its
+    checksum — models a truncated write or bad DMA.  The supervisor's
+    CRC check rejects the payload and replays the cell.
+
+Decisions are **pure functions of (seed, kind, cell index, attempt)**
+via the splitmix64 mix — no ``random`` state, no time, no pids — so a
+faulted run is exactly reproducible, and a retried cell re-rolls its
+fault (attempt is part of the key) instead of dying forever.  That is
+what lets the fault-tolerance tests assert *bit-identical* recovery:
+the same spec + seed always kills the same (cell, attempt) pairs.
+
+Faults are injected only inside worker processes (the supervised
+``jobs > 1`` path).  Serial runs ignore ``REPRO_FAULTS`` — they are
+the reference the recovered results are compared against.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.utils.bitops import mix64
+
+_ENV_SPEC = "REPRO_FAULTS"
+_ENV_SEED = "REPRO_FAULT_SEED"
+_ENV_HANG = "REPRO_FAULT_HANG"
+
+#: Exit status of an injected crash — distinctive in worker exitcodes.
+CRASH_EXIT_CODE = 113
+
+#: Stable per-kind salts (never ``hash()`` — PYTHONHASHSEED must not
+#: change which cells die).
+_KIND_SALT = {"crash": 1, "hang": 2, "corrupt": 3}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, seeded ``REPRO_FAULTS`` specification."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+    hang_seconds: float = 30.0
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        seed: int = 0,
+        hang_seconds: float = 30.0,
+    ) -> "FaultPlan":
+        """Parse ``kind:prob[,kind:prob...]``; invalid specs raise."""
+        rates = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, sep, raw = part.partition(":")
+            kind = kind.strip()
+            if not sep or kind not in _KIND_SALT:
+                raise ValueError(
+                    f"{_ENV_SPEC} entries must be one of "
+                    f"{sorted(_KIND_SALT)} as 'kind:prob', got {part!r}"
+                )
+            try:
+                prob = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{_ENV_SPEC} probability for {kind!r} must be a "
+                    f"float, got {raw!r}"
+                ) from None
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(
+                    f"{_ENV_SPEC} probability for {kind!r} must be in "
+                    f"[0, 1], got {prob}"
+                )
+            rates[kind] = prob
+        return cls(
+            crash=rates.get("crash", 0.0),
+            hang=rates.get("hang", 0.0),
+            corrupt=rates.get("corrupt", 0.0),
+            seed=seed,
+            hang_seconds=hang_seconds,
+        )
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """The active plan, or None when ``REPRO_FAULTS`` is unset."""
+        spec = os.environ.get(_ENV_SPEC, "").strip()
+        if not spec:
+            return None
+        seed_raw = os.environ.get(_ENV_SEED, "").strip()
+        hang_raw = os.environ.get(_ENV_HANG, "").strip()
+        try:
+            seed = int(seed_raw) if seed_raw else 0
+        except ValueError:
+            raise ValueError(
+                f"{_ENV_SEED} must be an integer, got {seed_raw!r}"
+            ) from None
+        try:
+            hang_seconds = float(hang_raw) if hang_raw else 30.0
+        except ValueError:
+            raise ValueError(
+                f"{_ENV_HANG} must be a float, got {hang_raw!r}"
+            ) from None
+        return cls.parse(spec, seed=seed, hang_seconds=hang_seconds)
+
+    def decide(self, kind: str, index: int, attempt: int) -> bool:
+        """Deterministically decide one (kind, cell, attempt) roll."""
+        prob = getattr(self, kind)
+        if prob <= 0.0:
+            return False
+        draw = mix64(
+            (index << 20) ^ attempt,
+            salt=self.seed * 8 + _KIND_SALT[kind],
+        )
+        return draw / (1 << 64) < prob
+
+    def inject_execution_faults(self, index: int, attempt: int) -> None:
+        """Crash or stall the calling worker, per the plan.
+
+        Called inside the worker immediately before the cell function
+        runs; the crash path never returns.
+        """
+        if self.decide("crash", index, attempt):
+            os._exit(CRASH_EXIT_CODE)
+        if self.decide("hang", index, attempt):
+            time.sleep(self.hang_seconds)
+
+    def maybe_corrupt(self, index: int, attempt: int, payload: bytes) -> bytes:
+        """Return ``payload`` with bytes flipped when the roll says so."""
+        if not payload or not self.decide("corrupt", index, attempt):
+            return payload
+        return bytes([payload[0] ^ 0xFF]) + payload[1:]

@@ -233,8 +233,13 @@ def run(
         for policy in ("log", "throttle_core")
     ]
 
-    streams = run_cells(alarm_cells, _run_alarm_cell, jobs=jobs)
-    responses = run_cells(response_cells, _run_response_cell, jobs=jobs)
+    streams = run_cells(
+        alarm_cells, _run_alarm_cell, jobs=jobs, label="fig10_alarms"
+    )
+    responses = run_cells(
+        response_cells, _run_response_cell, jobs=jobs,
+        label="fig10_responses",
+    )
 
     result = ExperimentResult(
         "fig10", "Online detection & response: ROC surface and OS policies"

@@ -80,7 +80,7 @@ def run(
         for mix in mixes
         for size in (None, *filter_sizes)
     ]
-    outcomes = run_cells(cells, _run_cell, jobs=jobs)
+    outcomes = run_cells(cells, _run_cell, jobs=jobs, label="fig8")
 
     baseline_time: dict[str, float] = {}
     normalized: dict[tuple[str, tuple[int, int]], float] = {}

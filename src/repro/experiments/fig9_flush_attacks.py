@@ -97,7 +97,9 @@ def run(
     ]
     outcomes = {
         (what, defence): payload
-        for what, defence, payload in run_cells(cells, _run_cell, jobs=jobs)
+        for what, defence, payload in run_cells(
+            cells, _run_cell, jobs=jobs, label="fig9"
+        )
     }
 
     result = ExperimentResult(

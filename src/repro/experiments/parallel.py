@@ -1,37 +1,94 @@
-"""Seed-deterministic parallel experiment fan-out.
+"""Supervised, checkpointed, seed-deterministic experiment fan-out.
 
-The performance experiments (Fig. 8, secThr sensitivity, baseline and
-defense ablations) are grids of *independent* full-system simulations:
-every (mix, config) cell builds its own hierarchy, derives every RNG
-from the experiment seed, and shares no mutable state with any other
-cell.  That makes them embarrassingly parallel — this module fans the
-cells out across worker processes with :mod:`multiprocessing`.
+The performance experiments (Fig. 8–10, secThr sensitivity, baseline
+and defense ablations) are grids of *independent* full-system
+simulations: every (mix, config) cell builds its own hierarchy,
+derives every RNG from the experiment seed, and shares no mutable
+state with any other cell.  That makes them embarrassingly parallel —
+this module fans the cells out across worker processes, and (since the
+grids now run for hours at ``REPRO_FULL`` scale) refuses to lose them
+to a single crashed worker, wedged syscall, or Ctrl-C:
+
+* **Supervision** — each worker is a dedicated process fed one cell at
+  a time over its own pipe.  The supervisor detects a dead worker
+  immediately (its pipe hits EOF), detects a hung worker by the
+  per-cell deadline (``REPRO_CELL_TIMEOUT`` seconds; unset = no
+  deadline), terminates and respawns it, and replays the lost cell.
+* **Retries** — a failed cell is replayed up to ``REPRO_RETRIES``
+  times (default 2).  This is safe *because cells are pure up to
+  their seed*: a replay is a bit-identical recomputation, so retrying
+  can never change a result, only recover it.  Exhausted retries
+  produce a structured :class:`CellFailure` naming the cell, not a
+  bare pool traceback; ``REPRO_ON_FAILURE=raise`` (default) raises a
+  :class:`GridExecutionError` after the rest of the grid completes,
+  ``partial`` returns the grid with ``CellFailure`` objects in the
+  failed slots so a fleet report can degrade gracefully.
+* **Integrity** — results cross the process boundary as explicitly
+  pickled payloads with a CRC-32 checksum; a corrupted payload (bad
+  pipe, injected fault) is rejected and the cell replayed.
+* **Checkpointing** — with ``REPRO_CHECKPOINT_DIR`` set (or an
+  explicit :class:`~repro.experiments.checkpoint.GridCheckpoint`),
+  completed results stream to a digest-keyed JSONL shard as they
+  arrive; ``REPRO_RESUME=1`` (the CLI's ``--resume``) replays only
+  the missing cells after a kill.  See :mod:`.checkpoint`.
+* **Fault injection** — ``REPRO_FAULTS=crash:p,hang:p,corrupt:p``
+  makes workers die, stall, or return corrupted payloads on a seeded,
+  deterministic schedule, so every recovery path above is *provable*
+  (``tests/test_fault_tolerance.py``), not hoped for.  See
+  :mod:`.faults`.
 
 Determinism contract
 --------------------
 ``run_cells(cells, fn)`` returns ``[fn(cell) for cell in cells]`` —
-same values, same order — no matter how many jobs are used.  This
+same values, same order — no matter how many jobs are used, how many
+workers died, or how many cells were resumed from a checkpoint.  This
 holds because cell functions are required to be pure up to their seed:
 every stochastic component inside a cell must derive from arguments of
 the cell (the repo-wide ``derive_seed`` discipline), never from global
-state.  The golden-equivalence test pins this: ``REPRO_JOBS=1`` and
-``REPRO_JOBS>1`` must produce bit-identical experiment results.
+state.  The golden-equivalence and fault-tolerance tests pin this:
+serial, parallel, faulted-and-recovered, and killed-and-resumed runs
+must all produce bit-identical experiment results.
 
 ``REPRO_JOBS`` selects the worker count (default ``1`` — serial, no
 processes spawned; ``0`` means one worker per CPU).  Cell functions
-must be module-level (picklable) and take a single argument.
+must be module-level (picklable) and take a single argument.  The
+serial path keeps the checkpoint/retry/failure semantics but spawns
+nothing and ignores ``REPRO_FAULTS`` and the cell deadline — it is
+the reference recovered runs are compared against (and it fails fast
+on an exhausted cell, where the parallel path finishes the rest of
+the grid first).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import time
+import traceback
+import zlib
+from collections import deque
 from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from multiprocessing import connection
 from typing import Any, TypeVar
+
+from repro.experiments.checkpoint import (
+    GridCheckpoint,
+    checkpoint_dir,
+    resume_enabled,
+)
+from repro.experiments.faults import FaultPlan
 
 Cell = TypeVar("Cell")
 
 _ENV_VAR = "REPRO_JOBS"
+_ENV_TIMEOUT = "REPRO_CELL_TIMEOUT"
+_ENV_RETRIES = "REPRO_RETRIES"
+_ENV_POLICY = "REPRO_ON_FAILURE"
+
+DEFAULT_RETRIES = 2
+FAILURE_POLICIES = ("raise", "partial")
 
 
 def repro_jobs() -> int:
@@ -57,52 +114,487 @@ def repro_jobs() -> int:
     return jobs
 
 
+def cell_timeout() -> float | None:
+    """Per-cell deadline in seconds (``REPRO_CELL_TIMEOUT``).
+
+    Unset/empty/``0`` → no deadline.  The deadline bounds one
+    *attempt* on one worker, measured from task hand-off.
+    """
+    raw = os.environ.get(_ENV_TIMEOUT, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_ENV_TIMEOUT} must be a number of seconds, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{_ENV_TIMEOUT} must be >= 0, got {value}")
+    return value or None
+
+
+def cell_retries() -> int:
+    """Replays allowed per cell after its first attempt
+    (``REPRO_RETRIES``, default 2)."""
+    raw = os.environ.get(_ENV_RETRIES, "").strip()
+    if not raw:
+        return DEFAULT_RETRIES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{_ENV_RETRIES} must be an integer >= 0, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{_ENV_RETRIES} must be >= 0, got {value}")
+    return value
+
+
+def failure_policy() -> str:
+    """What exhausted retries do (``REPRO_ON_FAILURE``):
+    ``raise`` (default) or ``partial``."""
+    raw = os.environ.get(_ENV_POLICY, "").strip() or "raise"
+    if raw not in FAILURE_POLICIES:
+        raise ValueError(
+            f"{_ENV_POLICY} must be one of {FAILURE_POLICIES}, got {raw!r}"
+        )
+    return raw
+
+
+@dataclass
+class CellFailure:
+    """One cell that exhausted its retries — everything a report needs
+    to name, reproduce, and triage the loss without the worker's
+    stdout: the grid position, the full cell repr (which embeds the
+    seed under the repo's cell-tuple discipline), the attempt count,
+    the failure kind, and the last error with its worker traceback."""
+
+    index: int
+    cell: str
+    attempts: int
+    kind: str          # "exception" | "crash" | "hang" | "corrupt"
+    error: str
+    engine: str
+    traceback: str = ""
+    #: Best-effort: ``cell.seed`` / ``cell["seed"]`` when the cell
+    #: exposes one; tuple cells carry their seed inside ``cell`` (the
+    #: repr) instead.
+    seed: Any = None
+
+    def summary(self) -> str:
+        return (
+            f"cell {self.index} {self.cell} [{self.kind} after "
+            f"{self.attempts} attempt(s), engine {self.engine}]: "
+            f"{self.error}"
+        )
+
+
+class GridExecutionError(RuntimeError):
+    """A grid finished with cells that exhausted their retries."""
+
+    def __init__(self, failures: list[CellFailure], total_cells: int):
+        self.failures = failures
+        self.total_cells = total_cells
+        lines = [
+            f"{len(failures)} of {total_cells} cells failed after retries:"
+        ]
+        lines.extend(f"  - {f.summary()}" for f in failures)
+        tb = next((f.traceback for f in failures if f.traceback), "")
+        if tb:
+            lines.append("first worker traceback:")
+            lines.append(tb.rstrip())
+        super().__init__("\n".join(lines))
+
+
+def _cell_seed(cell) -> Any:
+    seed = getattr(cell, "seed", None)
+    if seed is None and isinstance(cell, dict):
+        seed = cell.get("seed")
+    return seed
+
+
+def _auto_label(fn: Callable) -> str:
+    name = f"{getattr(fn, '__module__', 'grid')}.{getattr(fn, '__qualname__', 'cell')}"
+    return "".join(c if c.isalnum() else "_" for c in name).strip("_")
+
+
 def run_cells(
     cells: Iterable[Cell],
     fn: Callable[[Cell], Any],
     jobs: int | None = None,
+    *,
+    label: str | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    on_failure: str | None = None,
+    checkpoint: GridCheckpoint | None = None,
 ) -> list[Any]:
     """Apply ``fn`` to every cell; return results in cell order.
 
     ``jobs=None`` reads ``REPRO_JOBS``.  With one job (or one cell)
-    the map runs in-process — no pool, no pickling — which keeps unit
+    the grid runs in-process — no pool, no pickling — which keeps unit
     tests and debugging sessions free of multiprocessing machinery.
     Parallel runs prefer the ``fork`` start method (cheap, inherits
     the loaded modules) and fall back to the platform default where
     fork is unavailable.
+
+    ``label`` names the grid in checkpoint shards and failure reports
+    (default: derived from ``fn``).  ``timeout`` / ``retries`` /
+    ``on_failure`` override the ``REPRO_CELL_TIMEOUT`` /
+    ``REPRO_RETRIES`` / ``REPRO_ON_FAILURE`` environment knobs; an
+    explicit ``checkpoint`` overrides the ambient
+    ``REPRO_CHECKPOINT_DIR`` / ``REPRO_RESUME`` pair.
     """
     cell_list: Sequence[Cell] = list(cells)
     if jobs is None:
         jobs = repro_jobs()
-    if jobs <= 1 or len(cell_list) <= 1:
-        return [fn(cell) for cell in cell_list]
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in methods else None
-    )
-    workers = min(jobs, len(cell_list))
+    if timeout is None:
+        timeout = cell_timeout()
+    if retries is None:
+        retries = cell_retries()
+    if on_failure is None:
+        on_failure = failure_policy()
+    elif on_failure not in FAILURE_POLICIES:
+        raise ValueError(
+            f"on_failure must be one of {FAILURE_POLICIES}, got {on_failure!r}"
+        )
+    own_checkpoint = False
+    if checkpoint is None:
+        directory = checkpoint_dir()
+        if directory is not None and cell_list:
+            checkpoint = GridCheckpoint(
+                directory,
+                label or _auto_label(fn),
+                cell_list,
+                fn,
+                resume=resume_enabled(),
+            )
+            own_checkpoint = True
+    try:
+        if jobs <= 1 or len(cell_list) <= 1:
+            return _run_serial(
+                cell_list, fn, retries, on_failure, checkpoint
+            )
+        return _run_supervised(
+            cell_list, fn, jobs, timeout, retries, on_failure, checkpoint,
+            label or _auto_label(fn),
+        )
+    finally:
+        if own_checkpoint and checkpoint is not None:
+            checkpoint.close()
+
+
+# ----------------------------------------------------------------------
+# Serial path
+# ----------------------------------------------------------------------
+
+def _run_serial(cell_list, fn, retries, on_failure, checkpoint):
+    from repro.engine import effective_engine
+
+    done: dict[int, Any] = dict(checkpoint.loaded) if checkpoint else {}
+    out: list[Any] = []
+    for index, cell in enumerate(cell_list):
+        if index in done:
+            out.append(done[index])
+            continue
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                value = fn(cell)
+            except Exception as exc:
+                if attempts <= retries:
+                    continue
+                failure = CellFailure(
+                    index=index,
+                    cell=repr(cell),
+                    attempts=attempts,
+                    kind="exception",
+                    error=f"{type(exc).__name__}: {exc}",
+                    engine=effective_engine(),
+                    traceback=traceback.format_exc(),
+                    seed=_cell_seed(cell),
+                )
+                if on_failure == "raise":
+                    raise GridExecutionError(
+                        [failure], len(cell_list)
+                    ) from exc
+                out.append(failure)
+                break
+            else:
+                if checkpoint is not None:
+                    checkpoint.record(index, attempts, value)
+                out.append(value)
+                break
+    return out
+
+
+# ----------------------------------------------------------------------
+# Supervised parallel path
+# ----------------------------------------------------------------------
+
+#: Exit code workers use for a clean shutdown, so the supervisor can
+#: tell an orderly exit from a crash while draining.
+_OK_EXIT = 0
+
+
+def _worker_main(conn, fn, pinned: dict) -> None:
+    """Worker loop: receive ``(index, attempt, cell)``, run, reply.
+
+    Replies are ``("ok", index, attempt, crc32, payload)`` with the
+    result explicitly pickled (the CRC is the end-to-end integrity
+    check) or ``("err", index, attempt, info)`` for a cell-function
+    exception — the wrapper that lets the failing cell's identity
+    survive the process boundary.  Injected faults (``REPRO_FAULTS``)
+    fire here, between task receipt and reply.
+    """
+    os.environ.update(pinned)
+    plan = FaultPlan.from_env()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        index, attempt, cell = task
+        try:
+            if plan is not None:
+                plan.inject_execution_faults(index, attempt)
+            value = fn(cell)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            crc = zlib.crc32(payload)
+            if plan is not None:
+                payload = plan.maybe_corrupt(index, attempt, payload)
+            reply = ("ok", index, attempt, crc, payload)
+        except BaseException as exc:
+            reply = ("err", index, attempt, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            })
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+    os._exit(_OK_EXIT)
+
+
+class _Worker:
+    """One supervised worker process and its task pipe."""
+
+    __slots__ = ("proc", "conn", "current", "started")
+
+    def __init__(self, ctx, fn, pinned):
+        parent, child = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child, fn, pinned), daemon=True
+        )
+        self.proc.start()
+        child.close()
+        self.conn = parent
+        self.current: tuple[int, int] | None = None  # (index, attempt)
+        self.started = 0.0
+
+    def assign(self, index: int, attempt: int, cell) -> bool:
+        try:
+            self.conn.send((index, attempt, cell))
+        except (BrokenPipeError, OSError):
+            return False
+        self.current = (index, attempt)
+        self.started = time.monotonic()
+        return True
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=1.0)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(timeout=1.0)
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=1.0)
+        self.kill()
+
+
+def _pinned_env() -> dict:
     # Behaviour-selecting REPRO_* variables are pinned explicitly in
-    # every worker: child processes inherit the environment anyway
-    # under fork, but an explicit initializer also covers spawn/
-    # forkserver and late in-process set_engine() calls.  Workers hold
-    # no kernel state — the engine kernels are generated per hierarchy
-    # inside each cell, so they rebuild cleanly from these variables
-    # alone.
-    pinned = {
+    # every worker: children inherit the environment anyway under
+    # fork, but the explicit copy also covers spawn/forkserver and
+    # late in-process set_engine() calls.  Workers hold no kernel
+    # state — engine kernels are generated per hierarchy inside each
+    # cell, so they rebuild cleanly from these variables alone.
+    return {
         key: value
         for key, value in os.environ.items()
         if key.startswith("REPRO_")
     }
-    with ctx.Pool(
-        processes=workers,
-        initializer=_init_worker_env,
-        initargs=(pinned,),
-    ) as pool:
-        # chunksize=1: cells are coarse (whole simulations), so plain
-        # round-robin beats batching for load balance.
-        return pool.map(fn, cell_list, chunksize=1)
 
 
-def _init_worker_env(pinned: dict) -> None:
-    """Worker initializer: replicate the parent's REPRO_* settings."""
-    os.environ.update(pinned)
+def _run_supervised(
+    cell_list, fn, jobs, timeout, retries, on_failure, checkpoint, label
+):
+    from repro.engine import effective_engine
+
+    engine = effective_engine()
+    # Fail fast on an unparseable fault spec in the supervisor, not
+    # silently inside every worker.
+    FaultPlan.from_env()
+
+    total = len(cell_list)
+    results: dict[int, Any] = dict(checkpoint.loaded) if checkpoint else {}
+    failures: dict[int, CellFailure] = {}
+    attempts: dict[int, int] = {}
+    pending: deque[int] = deque(
+        i for i in range(total) if i not in results
+    )
+    if not pending:
+        return [results[i] for i in range(total)]
+
+    ctx = multiprocessing.get_context(
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    pinned = _pinned_env()
+    n_workers = min(jobs, len(pending))
+    workers = [_Worker(ctx, fn, pinned) for _ in range(n_workers)]
+
+    def fail_attempt(index: int, kind: str, error: str, tb: str = "") -> None:
+        if attempts[index] <= retries:
+            pending.append(index)
+            return
+        failures[index] = CellFailure(
+            index=index,
+            cell=repr(cell_list[index]),
+            attempts=attempts[index],
+            kind=kind,
+            error=error,
+            engine=engine,
+            traceback=tb,
+            seed=_cell_seed(cell_list[index]),
+        )
+
+    def complete(index: int, value) -> None:
+        results[index] = value
+        if checkpoint is not None:
+            checkpoint.record(index, attempts[index], value)
+
+    try:
+        while len(results) + len(failures) < total:
+            # Hand pending cells to idle workers (attempt numbers are
+            # 0-based and feed the deterministic fault plan).
+            for slot, worker in enumerate(workers):
+                if worker.current is not None or not pending:
+                    continue
+                index = pending.popleft()
+                attempt = attempts.get(index, 0)
+                attempts[index] = attempt + 1
+                if not worker.assign(index, attempt, cell_list[index]):
+                    # Worker died before it could take the task.
+                    fail_attempt(
+                        index, "crash",
+                        "worker died before task delivery "
+                        f"(exitcode {worker.proc.exitcode})",
+                    )
+                    worker.kill()
+                    workers[slot] = _Worker(ctx, fn, pinned)
+
+            busy = [w for w in workers if w.current is not None]
+            if not busy:
+                continue
+
+            # Sleep until a reply, a death (pipe EOF wakes the wait),
+            # or the nearest per-cell deadline.
+            if timeout is not None:
+                now = time.monotonic()
+                tick = max(
+                    0.01,
+                    min(timeout - (now - w.started) for w in busy),
+                )
+                tick = min(tick, 0.5)
+            else:
+                tick = 0.5
+            ready = connection.wait([w.conn for w in busy], timeout=tick)
+
+            for conn in ready:
+                worker = next(w for w in busy if w.conn is conn)
+                index, attempt = worker.current
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    # The worker died mid-cell: crash detected the
+                    # moment its pipe closed, no deadline needed.
+                    slot = workers.index(worker)
+                    worker.kill()
+                    workers[slot] = _Worker(ctx, fn, pinned)
+                    fail_attempt(
+                        index, "crash",
+                        f"worker crashed (exitcode {worker.proc.exitcode})",
+                    )
+                    continue
+                worker.current = None
+                if reply[0] == "ok":
+                    _, r_index, r_attempt, crc, payload = reply
+                    if zlib.crc32(payload) != crc:
+                        fail_attempt(
+                            r_index, "corrupt",
+                            "result payload failed its CRC-32 check",
+                        )
+                        continue
+                    try:
+                        value = pickle.loads(payload)
+                    except Exception as exc:
+                        fail_attempt(
+                            r_index, "corrupt",
+                            f"result payload failed to unpickle: {exc}",
+                        )
+                        continue
+                    complete(r_index, value)
+                else:
+                    _, r_index, r_attempt, info = reply
+                    fail_attempt(
+                        r_index, "exception", info["error"],
+                        info["traceback"],
+                    )
+
+            # Deadline scan: a worker past the per-cell timeout is
+            # hung — kill it, respawn, replay the cell.
+            if timeout is not None:
+                now = time.monotonic()
+                for slot, worker in enumerate(workers):
+                    if worker.current is None:
+                        continue
+                    if now - worker.started <= timeout:
+                        continue
+                    index, attempt = worker.current
+                    worker.kill()
+                    workers[slot] = _Worker(ctx, fn, pinned)
+                    fail_attempt(
+                        index, "hang",
+                        f"cell exceeded {_ENV_TIMEOUT}={timeout}s "
+                        "and its worker was terminated",
+                    )
+    finally:
+        for worker in workers:
+            worker.shutdown()
+
+    if failures:
+        ordered = [failures[i] for i in sorted(failures)]
+        if on_failure == "raise":
+            raise GridExecutionError(ordered, total)
+        return [
+            results[i] if i in results else failures[i]
+            for i in range(total)
+        ]
+    return [results[i] for i in range(total)]

@@ -57,7 +57,7 @@ def run(
         for mix in mixes
         for secthr in (None, *SECTHR_SWEEP)
     ]
-    outcomes = run_cells(cells, _run_cell, jobs=jobs)
+    outcomes = run_cells(cells, _run_cell, jobs=jobs, label="secthr")
     baseline_time = {
         mix: mean_time for mix, secthr, mean_time, _ in outcomes
         if secthr is None

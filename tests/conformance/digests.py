@@ -17,6 +17,15 @@ import dataclasses
 import hashlib
 import json
 
+#: Dict keys excluded from canonical payloads everywhere in the tree.
+#: These carry *provenance*, not semantics — ``result.extra["engine"]``
+#: records which engine produced a run (requested/effective/fallback),
+#: which is engine-*dependent* by definition, while the fixtures must
+#: stay engine-independent.  Scrubbing here (rather than at each stamp
+#: site) keeps the rule in one place: a scenario can never leak a
+#: provenance stamp into a golden digest.
+PROVENANCE_KEYS = frozenset({"engine"})
+
 
 def _jsonify_dataclasses(obj):
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
@@ -24,10 +33,25 @@ def _jsonify_dataclasses(obj):
     raise TypeError(f"not canonicalisable: {type(obj).__name__}")
 
 
+def _scrub_provenance(obj):
+    if isinstance(obj, dict):
+        return {
+            key: _scrub_provenance(value)
+            for key, value in obj.items()
+            if key not in PROVENANCE_KEYS
+        }
+    if isinstance(obj, list):
+        return [_scrub_provenance(value) for value in obj]
+    return obj
+
+
 def canonical(obj):
-    """Normalise ``obj`` (dataclass trees included) to JSON-safe data."""
-    return json.loads(json.dumps(obj, sort_keys=True,
-                                 default=_jsonify_dataclasses))
+    """Normalise ``obj`` (dataclass trees included) to JSON-safe data,
+    with provenance keys scrubbed (see :data:`PROVENANCE_KEYS`)."""
+    return _scrub_provenance(
+        json.loads(json.dumps(obj, sort_keys=True,
+                              default=_jsonify_dataclasses))
+    )
 
 
 def payload_digest(payload) -> str:

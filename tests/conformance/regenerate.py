@@ -55,7 +55,9 @@ def compute_payloads(names, jobs: int | None) -> dict:
     """
     from repro.experiments.parallel import run_cells
 
-    return dict(zip(names, run_cells(names, run_scenario, jobs=jobs)))
+    return dict(zip(
+        names, run_cells(names, run_scenario, jobs=jobs, label="conformance")
+    ))
 
 
 def write_fixture(name: str, payload=None) -> None:
@@ -67,10 +69,14 @@ def write_fixture(name: str, payload=None) -> None:
         "digest": payload_digest(payload),
         "payload": payload,
     }
-    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
-    with fixture_path(name).open("w") as fh:
-        json.dump(record, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    # tmp+rename so an interrupted regenerate can never leave a
+    # truncated golden that later reads as mysterious drift.
+    from repro.experiments.checkpoint import atomic_write_text
+
+    atomic_write_text(
+        fixture_path(name),
+        json.dumps(record, indent=1, sort_keys=True) + "\n",
+    )
 
 
 def check_fixture(name: str, payload=None) -> list[str]:
@@ -133,9 +139,26 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for scenario computation "
              "(0 = one per CPU; default: REPRO_JOBS or serial)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="stream completed scenario payloads to a digest-keyed "
+             "shard in DIR (sets REPRO_CHECKPOINT_DIR)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay only scenarios missing from the checkpoint shard "
+             "(sets REPRO_RESUME=1; requires a checkpoint dir)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.checkpoint_dir:
+        os.environ["REPRO_CHECKPOINT_DIR"] = args.checkpoint_dir
+    if args.resume:
+        if not os.environ.get("REPRO_CHECKPOINT_DIR", "").strip():
+            parser.error("--resume needs --checkpoint-dir (or "
+                         "REPRO_CHECKPOINT_DIR)")
+        os.environ["REPRO_RESUME"] = "1"
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine
         if args.engine == "c":

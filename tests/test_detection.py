@@ -48,13 +48,25 @@ from repro.utils.events import (
 
 def canonical(obj):
     """JSON-normalised payload (same rules as the conformance
-    digests: dataclass trees flattened, tuples and lists unified)."""
+    digests: dataclass trees flattened, tuples and lists unified,
+    provenance keys scrubbed — ``result.extra["engine"]`` records
+    which engine ran and is engine-dependent by definition, while
+    these comparisons assert cross-engine identity)."""
     def default(o):
         if dataclasses.is_dataclass(o) and not isinstance(o, type):
             return dataclasses.asdict(o)
         raise TypeError(type(o).__name__)
 
-    return json.loads(json.dumps(obj, sort_keys=True, default=default))
+    def scrub(o):
+        if isinstance(o, dict):
+            return {k: scrub(v) for k, v in o.items() if k != "engine"}
+        if isinstance(o, list):
+            return [scrub(v) for v in o]
+        return o
+
+    return scrub(
+        json.loads(json.dumps(obj, sort_keys=True, default=default))
+    )
 
 
 @contextmanager

@@ -1,0 +1,467 @@
+"""Fault-tolerance contract of the supervised experiment fan-out.
+
+Every recovery path in :mod:`repro.experiments.parallel` is proven
+here with *injected* faults (:mod:`repro.experiments.faults`), never
+hoped for:
+
+* worker crashes, hangs, and corrupted result payloads all recover to
+  results bit-identical to a clean serial run;
+* a grid killed mid-run resumes from its checkpoint shard and replays
+  only the missing cells;
+* exhausted retries produce a well-formed structured failure report
+  (``CellFailure`` / ``GridExecutionError``), not a bare pool
+  traceback — the failing cell's index, repr, and seed survive the
+  process boundary;
+* the ``c`` engine's degradation to ``specialized`` is warned about
+  once and stamped into ``result.extra`` so fleet reports cannot
+  silently mix engines.
+
+The cell function is a cheap pure computation so the suite stays
+tier-1-fast; the heavyweight end-to-end legs (conformance grid with
+faults, SIGKILL + ``--resume``) run in CI's fault-injection job.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    EngineFallbackWarning,
+    available_engines,
+    engine_provenance,
+)
+from repro.experiments.checkpoint import GridCheckpoint, grid_digest
+from repro.experiments.faults import CRASH_EXIT_CODE, FaultPlan
+from repro.experiments.parallel import (
+    CellFailure,
+    GridExecutionError,
+    cell_retries,
+    cell_timeout,
+    failure_policy,
+    run_cells,
+)
+from repro.utils.bitops import mix64
+
+JOBS = 2
+
+
+def _mix_cell(cell):
+    """A cheap pure cell: deterministic function of its arguments."""
+    index, seed = cell
+    return mix64(index, salt=seed)
+
+
+def _failing_cell(cell):
+    index, seed = cell
+    if index == 2:
+        raise ValueError(f"injected cell bug at index {index}")
+    return mix64(index, salt=seed)
+
+
+def _slow_cell(cell):
+    index, seed = cell
+    time.sleep(0.05)
+    return mix64(index, salt=seed)
+
+
+CELLS = [(i, 40) for i in range(10)]
+SERIAL = [_mix_cell(c) for c in CELLS]
+
+
+# ----------------------------------------------------------------------
+# Environment knob parsing
+# ----------------------------------------------------------------------
+
+def test_env_knob_parsing(monkeypatch):
+    monkeypatch.setenv("REPRO_CELL_TIMEOUT", "2.5")
+    monkeypatch.setenv("REPRO_RETRIES", "4")
+    monkeypatch.setenv("REPRO_ON_FAILURE", "partial")
+    assert cell_timeout() == 2.5
+    assert cell_retries() == 4
+    assert failure_policy() == "partial"
+    monkeypatch.setenv("REPRO_CELL_TIMEOUT", "0")
+    assert cell_timeout() is None
+
+
+@pytest.mark.parametrize("var,value", [
+    ("REPRO_CELL_TIMEOUT", "soon"),
+    ("REPRO_CELL_TIMEOUT", "-1"),
+    ("REPRO_RETRIES", "many"),
+    ("REPRO_RETRIES", "-2"),
+    ("REPRO_ON_FAILURE", "shrug"),
+])
+def test_env_knob_validation(monkeypatch, var, value):
+    monkeypatch.setenv(var, value)
+    resolver = {
+        "REPRO_CELL_TIMEOUT": cell_timeout,
+        "REPRO_RETRIES": cell_retries,
+        "REPRO_ON_FAILURE": failure_policy,
+    }[var]
+    with pytest.raises(ValueError):
+        resolver()
+
+
+def test_fault_spec_parsing():
+    plan = FaultPlan.parse("crash:0.25, hang:0.5,corrupt:1.0", seed=9)
+    assert (plan.crash, plan.hang, plan.corrupt) == (0.25, 0.5, 1.0)
+    with pytest.raises(ValueError):
+        FaultPlan.parse("explode:0.5")
+    with pytest.raises(ValueError):
+        FaultPlan.parse("crash:1.5")
+    with pytest.raises(ValueError):
+        FaultPlan.parse("crash:often")
+
+
+def test_fault_decisions_are_deterministic_and_attempt_keyed():
+    plan = FaultPlan(crash=0.5, seed=11)
+    rolls = [plan.decide("crash", i, a) for i in range(64) for a in range(3)]
+    again = [plan.decide("crash", i, a) for i in range(64) for a in range(3)]
+    assert rolls == again
+    assert any(rolls) and not all(rolls)
+    # Retries re-roll: some cell must crash on attempt 0 but not 1,
+    # otherwise a crashing cell could never recover.
+    assert any(
+        plan.decide("crash", i, 0) and not plan.decide("crash", i, 1)
+        for i in range(64)
+    )
+
+
+# ----------------------------------------------------------------------
+# Satellite: error opacity — the failing cell survives the pool boundary
+# ----------------------------------------------------------------------
+
+def test_exception_carries_cell_identity_across_pool():
+    with pytest.raises(GridExecutionError) as excinfo:
+        run_cells(CELLS, _failing_cell, jobs=JOBS, retries=1,
+                  on_failure="raise")
+    err = excinfo.value
+    assert len(err.failures) == 1
+    failure = err.failures[0]
+    assert failure.index == 2
+    assert failure.cell == repr(CELLS[2])
+    assert failure.kind == "exception"
+    assert failure.attempts == 2  # first try + one retry
+    assert "injected cell bug at index 2" in failure.error
+    assert "ValueError" in failure.traceback
+    assert failure.engine in available_engines()
+    # The rendered message names the cell too — the "worker traceback
+    # identifies nothing" failure mode is gone.
+    assert repr(CELLS[2]) in str(err)
+
+
+def test_partial_policy_returns_failures_in_slot():
+    out = run_cells(CELLS, _failing_cell, jobs=JOBS, retries=0,
+                    on_failure="partial")
+    assert isinstance(out[2], CellFailure)
+    assert out[2].attempts == 1
+    for i, value in enumerate(out):
+        if i != 2:
+            assert value == SERIAL[i]
+
+
+def test_serial_path_matches_parallel_failure_semantics():
+    with pytest.raises(GridExecutionError) as excinfo:
+        run_cells(CELLS, _failing_cell, jobs=1, retries=0,
+                  on_failure="raise")
+    assert excinfo.value.failures[0].index == 2
+    assert isinstance(excinfo.value.__cause__, ValueError)
+    out = run_cells(CELLS, _failing_cell, jobs=1, retries=0,
+                    on_failure="partial")
+    assert isinstance(out[2], CellFailure)
+
+
+# ----------------------------------------------------------------------
+# Tentpole: injected crash / hang / corrupt faults recover bit-identically
+# ----------------------------------------------------------------------
+
+def _run_with_faults(monkeypatch, spec, seed="5", **kwargs):
+    monkeypatch.setenv("REPRO_FAULTS", spec)
+    monkeypatch.setenv("REPRO_FAULT_SEED", seed)
+    return run_cells(CELLS, _mix_cell, jobs=JOBS, **kwargs)
+
+
+def test_crash_recovery_bit_identical(monkeypatch):
+    plan = FaultPlan.parse("crash:0.4", seed=5)
+    assert any(plan.decide("crash", i, 0) for i in range(len(CELLS)))
+    out = _run_with_faults(monkeypatch, "crash:0.4", retries=6)
+    assert out == SERIAL
+
+
+def test_hang_recovery_bit_identical(monkeypatch):
+    # Stalls are 30s by default — far beyond the 0.75s deadline, so a
+    # hung worker must be terminated and its cell replayed.
+    monkeypatch.setenv("REPRO_FAULT_HANG", "30")
+    plan = FaultPlan.parse("hang:0.3", seed=5)
+    assert any(plan.decide("hang", i, 0) for i in range(len(CELLS)))
+    started = time.monotonic()
+    out = _run_with_faults(
+        monkeypatch, "hang:0.3", retries=6, timeout=0.75
+    )
+    assert out == SERIAL
+    # Recovery must come from the deadline, not from waiting out the
+    # stall (which would take 30s per injected hang).
+    assert time.monotonic() - started < 20
+
+
+def test_corrupt_recovery_bit_identical(monkeypatch):
+    plan = FaultPlan.parse("corrupt:0.5", seed=5)
+    assert any(plan.decide("corrupt", i, 0) for i in range(len(CELLS)))
+    out = _run_with_faults(monkeypatch, "corrupt:0.5", retries=6)
+    assert out == SERIAL
+
+
+def test_mixed_faults_recover_bit_identical(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_HANG", "30")
+    out = _run_with_faults(
+        monkeypatch, "crash:0.2,hang:0.15,corrupt:0.2",
+        retries=8, timeout=0.75,
+    )
+    assert out == SERIAL
+
+
+def test_serial_reference_ignores_faults(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "crash:1.0")
+    assert run_cells(CELLS, _mix_cell, jobs=1) == SERIAL
+
+
+def test_exhausted_retries_produce_well_formed_report(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "crash:1.0")
+    monkeypatch.setenv("REPRO_FAULT_SEED", "5")
+    out = run_cells(CELLS, _mix_cell, jobs=JOBS, retries=1,
+                    on_failure="partial")
+    assert all(isinstance(f, CellFailure) for f in out)
+    for i, failure in enumerate(out):
+        assert failure.index == i
+        assert failure.cell == repr(CELLS[i])
+        assert failure.kind == "crash"
+        assert failure.attempts == 2
+        assert str(CRASH_EXIT_CODE) in failure.error
+        assert failure.engine in available_engines()
+    with pytest.raises(GridExecutionError) as excinfo:
+        run_cells(CELLS, _mix_cell, jobs=JOBS, retries=0,
+                  on_failure="raise")
+    assert len(excinfo.value.failures) == len(CELLS)
+    assert excinfo.value.total_cells == len(CELLS)
+
+
+def test_invalid_fault_spec_fails_fast_in_supervisor(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "explode:0.5")
+    with pytest.raises(ValueError):
+        run_cells(CELLS, _mix_cell, jobs=JOBS)
+
+
+# ----------------------------------------------------------------------
+# Tentpole: checkpointed resumable grids
+# ----------------------------------------------------------------------
+
+def test_checkpoint_resume_replays_only_missing_cells(tmp_path, monkeypatch):
+    # Interrupt mid-grid: every cell whose crash roll fires dies with
+    # zero retries, the rest land in the shard.
+    monkeypatch.setenv("REPRO_FAULTS", "crash:0.4")
+    monkeypatch.setenv("REPRO_FAULT_SEED", "5")
+    first = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell)
+    out = run_cells(CELLS, _mix_cell, jobs=JOBS, retries=0,
+                    on_failure="partial", checkpoint=first)
+    first.close()
+    failed = [i for i, v in enumerate(out) if isinstance(v, CellFailure)]
+    assert failed, "fault seed must kill at least one cell"
+    assert first.computed_count == len(CELLS) - len(failed)
+
+    # Resume without faults: only the missing cells are recomputed and
+    # the merged grid is bit-identical to the serial reference.
+    monkeypatch.delenv("REPRO_FAULTS")
+    second = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell, resume=True)
+    assert second.loaded_count == len(CELLS) - len(failed)
+    out = run_cells(CELLS, _mix_cell, jobs=JOBS, checkpoint=second)
+    second.close()
+    assert out == SERIAL
+    assert second.computed_count == len(failed)
+
+
+def test_checkpoint_streams_during_run_and_survives_partial_line(tmp_path):
+    ckpt = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell)
+    out = run_cells(CELLS, _mix_cell, jobs=JOBS, checkpoint=ckpt)
+    ckpt.close()
+    assert out == SERIAL
+    # Simulate a kill mid-append: truncate the last line.
+    shard = ckpt.path
+    content = shard.read_text()
+    shard.write_text(content[:-20])
+    resumed = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell, resume=True)
+    assert resumed.loaded_count == len(CELLS) - 1
+    out = run_cells(CELLS, _mix_cell, jobs=1, checkpoint=resumed)
+    resumed.close()
+    assert out == SERIAL
+    assert resumed.computed_count == 1
+
+
+def test_checkpoint_digest_keys_the_grid(tmp_path):
+    base = grid_digest("grid", _mix_cell, "specialized", CELLS)
+    assert grid_digest("grid", _mix_cell, "specialized", CELLS) == base
+    # Any change to what would be computed lands in a fresh shard.
+    assert grid_digest("grid", _mix_cell, "python", CELLS) != base
+    assert grid_digest("other", _mix_cell, "specialized", CELLS) != base
+    assert grid_digest("grid", _failing_cell, "specialized", CELLS) != base
+    other_cells = [(i, 41) for i in range(10)]
+    assert grid_digest("grid", _mix_cell, "specialized", other_cells) != base
+
+
+def test_fresh_run_truncates_stale_shard(tmp_path):
+    first = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell)
+    run_cells(CELLS, _mix_cell, jobs=1, checkpoint=first)
+    first.close()
+    fresh = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell, resume=False)
+    assert fresh.loaded_count == 0
+    assert fresh.path.read_text() == ""
+    fresh.close()
+
+
+def test_ambient_checkpoint_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+    assert run_cells(CELLS, _mix_cell, jobs=JOBS, label="ambient") == SERIAL
+    shards = list(Path(tmp_path).glob("ambient-*.jsonl"))
+    assert len(shards) == 1
+    monkeypatch.setenv("REPRO_RESUME", "1")
+    # Resume path: everything loads, nothing recomputes — visible as
+    # an unchanged shard (no duplicate lines appended).
+    lines_before = shards[0].read_text()
+    assert run_cells(CELLS, _mix_cell, jobs=JOBS, label="ambient") == SERIAL
+    assert shards[0].read_text() == lines_before
+
+
+def test_kill_and_resume_across_processes(tmp_path):
+    """A real SIGKILL mid-grid: the streamed shard survives and a
+    resumed process replays only the missing cells.
+
+    The grid script is self-contained (tests/ is not a package) and
+    runs twice: the first invocation is killed hard once some cells
+    have checkpointed; the second resumes and must finish with results
+    identical to the serial reference.
+    """
+    script = f"""
+import sys, time
+sys.path.insert(0, {str(Path(__file__).resolve().parents[1] / 'src')!r})
+from repro.experiments.checkpoint import GridCheckpoint
+from repro.experiments.parallel import run_cells
+from repro.utils.bitops import mix64
+
+CELLS = {CELLS!r}
+
+def slow_cell(cell):
+    index, seed = cell
+    time.sleep(0.2)
+    return mix64(index, salt=seed)
+
+ckpt = GridCheckpoint({str(tmp_path)!r}, "killed", CELLS, slow_cell,
+                      resume=True)
+out = run_cells(CELLS, slow_cell, jobs=2, checkpoint=ckpt)
+ckpt.close()
+expected = [mix64(i, salt=s) for i, s in CELLS]
+print("MATCH" if out == expected else "MISMATCH", len(out))
+"""
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    # Let a few 200ms cells checkpoint, then kill hard mid-grid.
+    shard = None
+    deadline = time.monotonic() + 15
+    while shard is None and time.monotonic() < deadline:
+        time.sleep(0.025)
+        shard = next(
+            (p for p in tmp_path.glob("killed-*.jsonl")
+             if p.stat().st_size > 0),
+            None,
+        )
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=10)
+    assert shard is not None, "no checkpoint lines before the kill"
+    before = sum(1 for line in shard.read_text().splitlines() if line)
+    assert 0 < before < len(CELLS), (
+        f"kill must land mid-grid, shard had {before} lines"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True,
+        text=True, timeout=60,
+    )
+    assert out.returncode == 0, out.stdout
+    assert f"MATCH {len(CELLS)}" in out.stdout
+
+
+# ----------------------------------------------------------------------
+# Determinism: supervised == serial on clean runs, any job count
+# ----------------------------------------------------------------------
+
+def test_supervised_matches_serial_without_faults():
+    assert run_cells(CELLS, _mix_cell, jobs=JOBS) == SERIAL
+    assert run_cells(CELLS, _mix_cell, jobs=5) == SERIAL
+
+
+# ----------------------------------------------------------------------
+# Satellite: engine fallback is loud and stamped
+# ----------------------------------------------------------------------
+
+def test_engine_provenance_stamped_in_result_extra(repro_engine):
+    from repro.experiments.common import (
+        scaled_mix_workloads,
+        scaled_system_config,
+    )
+    from repro.cpu.system import run_defended_workloads, run_workloads
+
+    config = scaled_system_config(False)
+    workloads = scaled_mix_workloads("mix1", False)
+    result = run_workloads(config, workloads, 2000, seed=1)
+    stamp = result.extra["engine"]
+    assert stamp["requested"] == repro_engine
+    assert stamp["effective"] in available_engines()
+    assert stamp["fallback"] == (stamp["requested"] != stamp["effective"])
+    defended, _, _ = run_defended_workloads(
+        config, workloads, "pipo", seed=1, instructions_per_core=2000
+    )
+    assert defended.extra["engine"] == stamp
+
+
+def test_c_fallback_warns_once_and_stamps(monkeypatch):
+    import repro.engine as engine_mod
+    from repro.engine import c_backend
+
+    monkeypatch.setattr(c_backend, "_LIB", False)
+    monkeypatch.setattr(
+        c_backend, "_LIB_ERROR", "RuntimeError: no toolchain (test)"
+    )
+    monkeypatch.setattr(engine_mod, "_FALLBACK_WARNED", set())
+    monkeypatch.setenv("REPRO_ENGINE", "c")
+    with pytest.warns(EngineFallbackWarning, match="degraded to 'specialized'"):
+        stamp = engine_provenance()
+    assert stamp == {
+        "requested": "c",
+        "effective": "specialized",
+        "fallback": True,
+        "reason": "RuntimeError: no toolchain (test)",
+    }
+    # Once per process: the second resolution is silent.
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        assert engine_provenance()["effective"] == "specialized"
+
+
+def test_provenance_scrubbed_from_conformance_digests():
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parents[1] / "tests" / "conformance")
+    )
+    from digests import canonical
+
+    payload = canonical({
+        "simulation": {"extra": {"engine": {"effective": "c"}, "x": 1}},
+        "engine": "top-level too",
+    })
+    assert payload == {"simulation": {"extra": {"x": 1}}}
