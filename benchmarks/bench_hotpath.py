@@ -8,6 +8,9 @@ tracked, not asserted:
   filter on the path;
 * ``CacheHierarchy.access_many`` on the same L1-hit stream (the
   batched entry point trace replay uses);
+* three dedicated cache-walk mixes (``test_walk_*``) — L1-hit
+  dominated, cold miss+fill, and monitored evict-heavy — so the C
+  walk's effect is measured per-path, not only end-to-end;
 * ``AutoCuckooFilter.access`` hit-heavy and mixed (insert-heavy);
 * one end-to-end Fig. 8 cell (mix1, Table II filter, scaled system).
 
@@ -136,6 +139,90 @@ def test_access_miss(benchmark):
         monitor = PiPoMonitor(TABLE_II.filter.build(seed=1), EventQueue())
         monitor.attach(h)
         seq = [a * 64 for a in _lcg_stream(12345, ops, 1 << 30)]
+        return h, seq
+
+    def run(state):
+        h, seq = state
+        access = h.engine_access()
+        for a in seq:
+            access(0, OP_READ, a)
+
+    _bench_ops(benchmark, run, setup, ops)
+
+
+# ----------------------------------------------------------------------
+# Cache-walk cells: the three service mixes the C walk targets.
+# Dedicated cells (instead of reusing the tier benches above) so the
+# c-vs-specialized trajectory for the fused walk is measured on
+# streams that exercise the whole chain, not a single tier.
+# ----------------------------------------------------------------------
+
+def test_walk_l1_hit_dominated(benchmark):
+    """~94% L1 read hits over a hot region, the rest falling through
+    to L2/LLC — the demand mix a benign workload presents."""
+    def setup():
+        h = TABLE_II.build_hierarchy(seed=0)
+        hot = [i * 64 for i in range(256)]          # resident in L1
+        warm = [i * 64 for i in range(8192)]        # L2/LLC tier
+        rolls = _lcg_stream(42, N_OPS, 16)
+        picks = _lcg_stream(43, N_OPS, 8192)
+        seq = [
+            warm[picks[i]] if rolls[i] == 0 else hot[picks[i] & 255]
+            for i in range(N_OPS)
+        ]
+        for a in warm:
+            h.access(0, OP_READ, a)
+        return h, seq
+
+    def run(state):
+        h, seq = state
+        access = h.engine_access()
+        for a in seq:
+            access(0, OP_READ, a)
+
+    _bench_ops(benchmark, run, setup, N_OPS)
+
+
+def test_walk_miss_fill(benchmark):
+    """Cold sweep: every access misses all three levels and runs the
+    full fetch → LLC fill → private fill chain (with L1/L2 inclusion
+    victims once those fill up).  No monitor on the path."""
+    ops = N_OPS // 4
+
+    def setup():
+        h = TABLE_II.build_hierarchy(seed=0)
+        return h, [(1 << 24 | i) * 64 for i in range(ops)]
+
+    def run(state):
+        h, seq = state
+        access = h.engine_access()
+        for a in seq:
+            access(0, OP_READ, a)
+
+    _bench_ops(benchmark, run, setup, ops)
+
+
+def test_walk_evict_heavy_monitored(benchmark):
+    """Conflict stream into one LLC set per slice with PiPoMonitor
+    attached: every access evicts, repeated lines get captured and
+    tagged, and tagged victims raise the pEvict hook — the walk's
+    worst case (fill + evict + filter + monitor tail per op)."""
+    ops = N_OPS // 8
+
+    def setup():
+        h = TABLE_II.build_hierarchy(seed=0)
+        monitor = PiPoMonitor(TABLE_II.filter.build(seed=1), EventQueue())
+        monitor.attach(h)
+        # All tags map to set 0 of their slice, far over the 16-way
+        # capacity, so the steady state is one eviction per access.
+        # 7 in 8 tags are fresh (their victims evict inline); 1 in 8
+        # cycles a hot pool of 64, which the filter captures and tags,
+        # so pEvict callbacks and monitor prefetches stay on the
+        # measured path at a realistic rate rather than on every op.
+        seq = [
+            (((i >> 3) % 64 if i & 7 == 7 else 64 + i) << 10) * 64
+            for i in range(ops)
+        ]
         return h, seq
 
     def run(state):

@@ -11,6 +11,14 @@ selected by commit::
 
     python benchmarks/compare.py --trajectory abc123def456 deadbeef0123
 
+A commit can carry one trajectory entry per engine leg; ``--engine``
+selects which leg to load, and records from *different* engines are
+refused by default — a python-leg baseline against a c-leg candidate
+measures the engine, not the commit, and every apparent regression or
+win it prints is bogus.  Pass ``--cross-engine`` when the engine gap
+is exactly what you mean to measure (the PERFORMANCE.md speedup
+tables do).
+
 Exit status is 1 when any shared benchmark regressed by more than the
 threshold (default 10 %), which makes the script usable as a CI gate.
 On the shared 1-CPU hosts a single pair of runs carries ±30 % noise —
@@ -28,7 +36,7 @@ from pathlib import Path
 TRAJECTORY_PATH = Path(__file__).resolve().parent / "results" / "BENCH_trajectory.json"
 
 
-def load_record(source: str, trajectory: bool) -> dict:
+def load_record(source: str, trajectory: bool, engine: str | None = None) -> dict:
     """Load a compact benchmark record from a file or a trajectory commit.
 
     Every failure mode exits with a one-line diagnosis (missing file,
@@ -69,7 +77,19 @@ def load_record(source: str, trajectory: bool) -> dict:
             f"error: no trajectory entry for commit {source!r}; "
             f"recorded commits: {', '.join(known) if known else '(none)'}"
         )
-    record = matches[-1]  # latest run of that commit
+    if engine is not None:
+        legs = [e for e in matches if e.get("engine") == engine]
+        if not legs:
+            recorded = sorted(
+                {e.get("engine") or "unstamped" for e in matches}
+            )
+            raise SystemExit(
+                f"error: commit {source!r} has no {engine}-leg trajectory "
+                f"entry (recorded legs: {', '.join(recorded)}).  Record "
+                f"one with: REPRO_ENGINE={engine} benchmarks/run_perf.sh"
+            )
+        matches = legs
+    record = matches[-1]  # latest run of that commit (and leg)
     if "benchmarks" not in record:
         raise SystemExit(
             f"error: trajectory entry for commit {source!r} has no "
@@ -78,7 +98,10 @@ def load_record(source: str, trajectory: bool) -> dict:
     return record
 
 
-def compare(baseline: dict, candidate: dict, threshold: float) -> int:
+def compare(
+    baseline: dict, candidate: dict, threshold: float,
+    cross_engine: bool = False,
+) -> int:
     base = baseline["benchmarks"]
     cand = candidate["benchmarks"]
     shared = sorted(set(base) & set(cand))
@@ -88,10 +111,20 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> int:
     # ``unknown`` rather than erroring or hiding the line — a cross-
     # engine comparison must stay visible even when one side predates
     # the stamp.
+    b_eng = baseline.get("engine")
+    c_eng = candidate.get("engine")
     print(
-        f"engines: baseline={baseline.get('engine') or 'unknown'}  "
-        f"candidate={candidate.get('engine') or 'unknown'}"
+        f"engines: baseline={b_eng or 'unknown'}  "
+        f"candidate={c_eng or 'unknown'}"
     )
+    if b_eng and c_eng and b_eng != c_eng and not cross_engine:
+        raise SystemExit(
+            f"error: the records ran different engines ({b_eng} vs "
+            f"{c_eng}), so any regression this diff flags measures the "
+            "engine, not the change.  Pick matching legs with "
+            "--engine, or pass --cross-engine if the engine gap is "
+            "what you mean to measure."
+        )
     width = max(len(n) for n in shared)
     print(f"{'benchmark'.ljust(width)}  {'baseline':>14}  {'candidate':>14}  {'ratio':>7}")
     regressions = []
@@ -128,12 +161,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trajectory", action="store_true",
                         help="treat the two arguments as commit prefixes to "
                              "look up in BENCH_trajectory.json")
+    parser.add_argument("--engine", choices=("python", "specialized", "c"),
+                        default=None,
+                        help="with --trajectory, select this engine's leg "
+                             "of each commit (a commit may carry one entry "
+                             "per engine)")
+    parser.add_argument("--cross-engine", action="store_true",
+                        help="allow records from different engines to be "
+                             "diffed (default: refuse — such a diff "
+                             "measures the engine, not the change)")
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error("--threshold must be in (0, 1)")
-    baseline = load_record(args.baseline, args.trajectory)
-    candidate = load_record(args.candidate, args.trajectory)
-    return compare(baseline, candidate, args.threshold)
+    if args.engine and not args.trajectory:
+        parser.error("--engine only applies with --trajectory")
+    baseline = load_record(args.baseline, args.trajectory, args.engine)
+    candidate = load_record(args.candidate, args.trajectory, args.engine)
+    return compare(baseline, candidate, args.threshold,
+                   cross_engine=args.cross_engine)
 
 
 if __name__ == "__main__":

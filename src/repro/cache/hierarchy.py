@@ -189,6 +189,8 @@ class CacheHierarchy:
         "_llc_slice_shift",
         "_kernel",
         "_kernel_key",
+        "_c_state",
+        "_walk_issued",
     )
 
     def __init__(
@@ -257,6 +259,15 @@ class CacheHierarchy:
         # selection or the attached monitor changes).
         self._kernel = None
         self._kernel_key = None
+        # C cache-walk seam (repro.engine.c_cache): once installed,
+        # ``_c_state`` owns the authoritative C-side storage and every
+        # mutator below routes through it; the dicts become a mirror
+        # refreshed by :meth:`engine_sync`.  ``_walk_issued`` records
+        # that a Python kernel closure captured the dicts directly, at
+        # which point a later C install must be refused (the closure
+        # would silently fork the state).
+        self._c_state = None
+        self._walk_issued = False
 
     def engine_access(self):
         """The per-event access entry point under the selected engine
@@ -288,6 +299,11 @@ class CacheHierarchy:
         no helper calls and no allocation until an actual miss or
         coherence action needs handling.
         """
+        cs = self._c_state
+        if cs is not None:
+            # C-side storage is authoritative; the generic path would
+            # read a stale mirror.
+            return cs.kernel(core, op, addr, now)
         line_addr = addr >> self._line_bits
         # Opcode literals (0/1/2 = OP_READ/OP_WRITE/OP_IFETCH) avoid a
         # module-global load per comparison on this path.  The read
@@ -440,14 +456,23 @@ class CacheHierarchy:
 
         Returns the per-request latencies.
         """
+        cs = self._c_state
+        if cs is not None:
+            return cs.access_many(requests, now)
+        # Non-inline requests go through the engine-selected kernel
+        # (the generic ``access`` under REPRO_ENGINE=python).  Resolved
+        # *before* the locals are hoisted: under REPRO_ENGINE=c this
+        # very call may install the C walk, after which the dicts are
+        # a mirror and the whole batch must route through C.
+        access = self.engine_access()
+        cs = self._c_state
+        if cs is not None:
+            return cs.access_many(requests, now)
         stats = self.stats
         l1d = self.l1d
         line_bits = self._line_bits
         l1_latency = self.l1_latency
         per_core = stats.per_core_accesses
-        # Non-inline requests go through the engine-selected kernel
-        # (the generic ``access`` under REPRO_ENGINE=python).
-        access = self.engine_access()
         latencies = []
         append = latencies.append
         for core, op, addr in requests:
@@ -503,6 +528,9 @@ class CacheHierarchy:
         PiPoMonitor.  (The line leaves the LLC here, so the capacity-
         eviction path can never fire a second hook for it.)
         """
+        cs = self._c_state
+        if cs is not None:
+            return cs.clflush(core, addr, now)
         line_addr = addr >> self._line_bits
         stats = self.stats
         stats.flushes += 1
@@ -954,6 +982,9 @@ class CacheHierarchy:
         issued (False when the line is already resident, e.g.
         re-fetched by a demand miss before the delayed prefetch fired).
         """
+        cs = self._c_state
+        if cs is not None:
+            return cs.prefetch_fill(line_addr, now, tag)
         sl = self._llc_slices[
             ((line_addr >> self._llc_set_bits) * SLICE_MULT & U64_MASK)
             >> self._llc_slice_shift
@@ -972,9 +1003,27 @@ class CacheHierarchy:
     # Introspection and validation
     # ------------------------------------------------------------------
 
+    def engine_sync(self) -> None:
+        """Flush engine-owned state back into the Python objects.
+
+        A no-op for the pure-Python engines (the dicts *are* the
+        state).  Under the C cache walk this performs the batch sync:
+        every ``_map``/``_sets`` dict, the per-cache and AccessStats
+        counters, the monitor/filter counters, the memory-controller
+        channel state, and ``_memory_versions`` are refreshed from the
+        C arrays (in place — object identity is preserved for held
+        references).  Cheap when nothing ran since the last sync.
+        The C side stays authoritative afterwards; this is a read-only
+        snapshot refresh, never a hand-back.
+        """
+        cs = self._c_state
+        if cs is not None:
+            cs.sync()
+
     def read_version(self, core: int, addr: int) -> int:
         """The data version a read by ``core`` would observe, *without*
         perturbing any state.  Test helper mirroring the serve path."""
+        self.engine_sync()
         line_addr = addr >> self.mapper.line_bits
         for cache in (self.l1d[core], self.l1i[core], self.l2[core]):
             w = cache._map.get(line_addr)
@@ -996,6 +1045,7 @@ class CacheHierarchy:
 
     def holders_of(self, line_addr: int) -> dict[int, int]:
         """Map core → private MESI state for a line (test helper)."""
+        self.engine_sync()
         holders: dict[int, int] = {}
         for core in range(self.num_cores):
             state = None
@@ -1014,6 +1064,7 @@ class CacheHierarchy:
         Raises :class:`CoherenceViolation` on the first failure.  Meant
         for tests — it walks every resident line.
         """
+        self.engine_sync()
         private_addrs: set[int] = set()
         for core in range(self.num_cores):
             l2_lines = set(self.l2[core]._map)

@@ -92,6 +92,7 @@ class SetAssociativeCache:
         "hits",
         "misses",
         "evictions",
+        "_c_sync",
     )
 
     def __init__(
@@ -126,6 +127,13 @@ class SetAssociativeCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Set by the C cache walk (repro.engine.c_cache) to the
+        #: hierarchy-wide batch sync.  While installed, ``_map`` /
+        #: ``_sets`` are a mirror of the C arrays: the read APIs below
+        #: call this first so they always observe current state.  The
+        #: packed mutators (``_fill``/``_remove_word``) are *not*
+        #: guarded — with the walk in C, nothing routes to them.
+        self._c_sync = None
 
     # ------------------------------------------------------------------
 
@@ -138,12 +146,16 @@ class SetAssociativeCache:
         update recency (callers decide whether an operation counts as a
         use).  The view is a fresh proxy per call — compare by
         ``addr``/fields, not identity."""
+        if self._c_sync is not None:
+            self._c_sync()
         if line_addr in self._map:
             return CacheLineView(self, line_addr)
         return None
 
     def probe(self, line_addr: int) -> bool:
         """Presence check with hit/miss accounting."""
+        if self._c_sync is not None:
+            self._c_sync()
         if line_addr in self._map:
             self.hits += 1
             return True
@@ -246,12 +258,16 @@ class SetAssociativeCache:
 
     def lines(self) -> Iterator[CacheLineView]:
         """Iterate live views over every resident line."""
+        if self._c_sync is not None:
+            self._c_sync()
         for cache_set in self._sets:
             for addr in cache_set:
                 yield CacheLineView(self, addr)
 
     def set_lines(self, index: int) -> list[CacheLineView]:
         """Live views of one set's resident lines (snapshot list)."""
+        if self._c_sync is not None:
+            self._c_sync()
         return [CacheLineView(self, addr) for addr in self._sets[index]]
 
     @property
@@ -262,16 +278,24 @@ class SetAssociativeCache:
         unlike a hand-maintained counter, cannot drift from the
         ground-truth structures.
         """
+        if self._c_sync is not None:
+            self._c_sync()
         return len(self._map)
 
     def occupancy(self) -> float:
         """Fraction of line slots in use (O(1))."""
+        if self._c_sync is not None:
+            self._c_sync()
         return len(self._map) / (self.num_sets * self.ways)
 
     def __contains__(self, line_addr: int) -> bool:
+        if self._c_sync is not None:
+            self._c_sync()
         return line_addr in self._map
 
     def __len__(self) -> int:
+        if self._c_sync is not None:
+            self._c_sync()
         return len(self._map)
 
     def __repr__(self) -> str:

@@ -101,7 +101,13 @@ class Core:
         # This core's own L1D plus the shared stats block, resolved
         # once: ~3/4 of all memory operations are L1 read hits, and
         # the step loop below serves those without entering ``access``.
-        self._l1d = hierarchy.l1d[core_id]
+        # Under the C cache walk the Python dicts are a stale mirror
+        # between syncs, so the inline probe is disabled (None) and
+        # every op goes through the kernel — which serves the L1 read
+        # hit in C anyway.
+        self._l1d = (
+            hierarchy.l1d[core_id] if hierarchy._c_state is None else None
+        )
         self._l1_latency = hierarchy.l1_latency
         self._line_bits = hierarchy._line_bits
         self._stats = hierarchy.stats
@@ -237,7 +243,7 @@ class Core:
                 # dominant case pays no call, no attribute chase.
                 l1 = self._l1d
                 line_addr = self._pending_addr >> self._line_bits
-                if line_addr in l1._map and l1._touch_stamps:
+                if l1 is not None and line_addr in l1._map and l1._touch_stamps:
                     stamp = l1._stamp + 1
                     l1._stamp = stamp
                     l1._sets[line_addr & l1._set_mask][line_addr] = stamp

@@ -124,6 +124,11 @@ class MulticoreSystem:
         finally:
             if gc_was_enabled:
                 gc.enable()
+        # Under the C cache walk, the Python-side mirrors (cache dicts,
+        # AccessStats, monitor/filter counters, _memory_versions) are
+        # stale until a batch sync; resync here so the result below —
+        # and any post-run introspection — reads consistent state.
+        self.hierarchy.engine_sync()
         monitor = self.hierarchy.monitor
         result = SimulationResult(
             core_times=[completion[c.core_id] for c in self.cores],

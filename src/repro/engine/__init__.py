@@ -171,6 +171,20 @@ def hierarchy_access(h):
     or the attached monitor changes; configurations the specializer
     does not support fall back to the generic method.
     """
+    cs = getattr(h, "_c_state", None)
+    if cs is not None:
+        # The C cache walk owns the storage (one-way install): its
+        # kernel is the only consistent entry point whatever engine is
+        # now selected.  The monitor/bus configuration was baked in at
+        # install time and cannot be swapped under a live C state.
+        if (id(h.monitor), id(getattr(h.monitor, "alarms", None))) \
+                != cs.monitor_key:
+            raise RuntimeError(
+                "monitor/alarm-bus changed after the C cache walk was "
+                "installed; attach monitors and buses before any core "
+                "binds its access kernel"
+            )
+        return cs.kernel
     name = engine_name()
     if name == "python":
         return h.access
@@ -181,6 +195,27 @@ def hierarchy_access(h):
     key = (name, id(h.monitor), id(getattr(h.monitor, "alarms", None)))
     if h._kernel is not None and h._kernel_key == key:
         return h._kernel
+    if name == "c":
+        # Full C cache walk first; configurations it cannot take
+        # (unsupported policies, open-page DRAM, a Python kernel
+        # already bound) fall through to the specialized kernel with
+        # the C filter — the pre-walk behaviour of the c engine.
+        from repro.engine import c_cache
+
+        if c_cache.install(h):
+            kernel = h._c_state.kernel
+            h._kernel = kernel
+            h._kernel_key = key
+            return kernel
+        from repro.engine import c_backend
+
+        if not c_backend.available():
+            # Toolchain/cffi missing is a host-level degradation and
+            # warrants the once-per-process warning; per-config
+            # ineligibility is a documented config-local fallback and
+            # stays quiet (build_access_kernel still routes the filter
+            # through C when it can).
+            note_fallback("c", "specialized", c_backend.unavailable_reason())
     from repro.engine.specialize import build_access_kernel
 
     kernel = build_access_kernel(h, engine=name)

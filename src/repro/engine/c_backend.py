@@ -1,24 +1,35 @@
-"""Optional C backend for the Auto-Cuckoo filter kernel.
+"""Optional C backend: the Auto-Cuckoo filter kernel and the shared
+cffi build for the packed-word cache walk.
 
-The Query/kick-walk is the half of the access/filter pair that is pure
-integer arithmetic over small fixed-size tables, which makes it the
-natural first target for compilation: ``REPRO_ENGINE=c`` routes every
-filter Access through a cffi-compiled C implementation whose state
-(fingerprint rows, Security counters, the ``_alt_xor`` table, the LCG)
-lives in flat C arrays.  The arithmetic is a line-for-line port of
-``AutoCuckooFilter.access``/``_insert_new`` in exact uint64, so results
-are bit-identical — the golden-trace conformance suite replays the
-full scenario matrix against it.  (The cache-walk half of the pair
-stays in the specialized Python kernel: its state is Python dicts
-shared with every generic path, and the conformance gate prices any
-C port of it at a full storage rewrite — see PERFORMANCE.md.)
+``REPRO_ENGINE=c`` routes the two halves of the simulator's hot pair
+through one cffi-compiled extension:
+
+* the **filter** Query/kick-walk — fingerprint rows, Security
+  counters, the ``_alt_xor`` table and the LCG in flat C arrays, a
+  line-for-line exact-uint64 port of
+  ``AutoCuckooFilter.access``/``_insert_new`` (this module, installed
+  by :func:`install`);
+* the **cache walk** — the fused L1 probe → miss walk → LLC
+  fill/evict → monitor chain with per-cache tag/word/stamp arrays and
+  a C-owned ``_memory_versions`` map (source in
+  :mod:`repro.engine._walk_src`, installed by
+  :mod:`repro.engine.c_cache`).
+
+Both are held to the same golden-trace conformance suite: every
+scenario must replay bit-identically under the C engine.
 
 The extension is **built lazily at first use** and cached under
-``~/.cache/repro-engine`` (override with ``REPRO_ENGINE_CACHE``); when
-cffi or a C toolchain is missing the build fails quietly and callers
-fall back to the specialized Python kernel — the ``c`` engine degrades,
-it never breaks.  Workers in a fork/spawn pool reuse the on-disk
-artefact, so kernels rebuild cleanly across process boundaries.
+``~/.cache/repro-engine`` (override with ``REPRO_ENGINE_CACHE``); the
+cache key hashes the full generated source plus the interpreter/cffi/
+compiler identity, so any edit to the C code (or a toolchain change)
+lands in a fresh directory and a stale ``.so`` can never satisfy a
+newer source.  When cffi or a C toolchain is missing the build fails
+quietly and callers fall back to the specialized Python kernel — the
+``c`` engine degrades, it never breaks — but the failure is recorded
+(:func:`unavailable_reason`, including the captured compiler error
+chain) and surfaced through ``EngineFallbackWarning``.  Workers in a
+fork/spawn pool reuse the on-disk artefact, so kernels rebuild cleanly
+across process boundaries.
 
 State-consistency contract with the Python object: once
 :func:`install` succeeds, *all* accesses go through C (``access`` and
@@ -29,6 +40,8 @@ when an Access returns 0 (a Response of 0 *is* a fresh insertion);
 ``total_accesses`` is kept on the Python side.  The fingerprint and
 Security rows are materialised back into ``_fps``/``_security`` on
 demand by introspection (``AutoCuckooFilter._sync_rows_from_c``).
+The cache walk's (batch) sync contract is documented in
+:mod:`repro.engine.c_cache` and PERFORMANCE.md design rule 16.
 """
 
 from __future__ import annotations
@@ -36,9 +49,13 @@ from __future__ import annotations
 import hashlib
 import os
 import shutil
+import sys
+import sysconfig
 import tempfile
 import traceback
 from pathlib import Path
+
+from repro.engine import _walk_src
 
 _U64 = (1 << 64) - 1
 
@@ -199,17 +216,37 @@ uint64_t acf_access_many(acf_state *st, const uint64_t *keys, uint64_t n)
 }
 """
 
-_MODULE_NAME = "_repro_acf"
+_FULL_CDEF = _CDEF + _walk_src.WALK_CDEF
+_FULL_CSOURCE = _CSOURCE + _walk_src.WALK_SOURCE
+
+_MODULE_NAME = "_repro_engine_c"
 
 #: (ffi, lib) once built/loaded; False after a failed attempt (so a
 #: missing toolchain is probed exactly once per process).
 _LIB: object = None
 
-#: One-line diagnosis of the failed build attempt (None while the
-#: backend is unprobed or available).  Feeds the structured fallback
-#: warning in :mod:`repro.engine` — degradation stays graceful but is
-#: never silent.
+#: Diagnosis of the failed build attempt (None while the backend is
+#: unprobed or available).  The *whole* exception chain is captured —
+#: a compiler failure surfaces as ``VerificationError: ... <-
+#: CompileError: ...`` — and feeds the structured fallback warning in
+#: :mod:`repro.engine`; degradation stays graceful but is never
+#: silent.
 _LIB_ERROR: str | None = None
+
+
+def _format_error_chain(exc: BaseException) -> str:
+    """One line per exception in the cause/context chain, newest first
+    (so the compiler's actual complaint survives cffi's wrapping)."""
+    parts = []
+    seen: set[int] = set()
+    cur: BaseException | None = exc
+    while cur is not None and id(cur) not in seen:
+        seen.add(id(cur))
+        parts.append("".join(
+            traceback.format_exception_only(type(cur), cur)
+        ).strip())
+        cur = cur.__cause__ or cur.__context__
+    return " <- ".join(parts)
 
 
 def _cache_dir() -> Path:
@@ -230,13 +267,26 @@ def _load_lib():
 
         from cffi import FFI
 
-        tag = hashlib.sha256(
-            (_CDEF + _CSOURCE).encode()
-        ).hexdigest()[:16]
+        # The cache key covers everything that can change the built
+        # artefact: the full generated source (cdef + C), the module
+        # name, the interpreter ABI, the cffi version, and the
+        # compiler identity.  A source edit — even within one repo
+        # version — therefore always lands in a fresh directory; a
+        # stale cached .so can never be loaded against newer source.
+        import cffi as _cffi_mod
+
+        tag = hashlib.sha256("\\x00".join((
+            _MODULE_NAME,
+            _FULL_CDEF,
+            _FULL_CSOURCE,
+            sys.version,
+            getattr(_cffi_mod, "__version__", "?"),
+            str(sysconfig.get_config_var("CC") or ""),
+        )).encode()).hexdigest()[:20]
         cache = _cache_dir() / tag
         ffibuilder = FFI()
-        ffibuilder.cdef(_CDEF)
-        ffibuilder.set_source(_MODULE_NAME, _CSOURCE)
+        ffibuilder.cdef(_FULL_CDEF)
+        ffibuilder.set_source(_MODULE_NAME, _FULL_CSOURCE)
         sofile = next(cache.glob(f"{_MODULE_NAME}*.so"), None)
         if sofile is None:
             # Build in a private tempdir *on the cache filesystem*
@@ -276,9 +326,7 @@ def _load_lib():
         _LIB = (mod.ffi, mod.lib)
     except Exception as exc:
         _LIB = False
-        _LIB_ERROR = "".join(
-            traceback.format_exception_only(type(exc), exc)
-        ).strip()
+        _LIB_ERROR = _format_error_chain(exc)
         return None
     return _LIB
 

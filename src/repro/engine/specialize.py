@@ -845,4 +845,10 @@ def build_access_kernel(h, engine: str = "specialized"):
         exec(compile(source, "<repro-engine-kernel>", "exec"), namespace)
         factory = namespace["make_kernel"]
         _FACTORY_CACHE[source] = factory
+    # The kernel closure binds the hierarchy's dicts/stats directly;
+    # a later C cache-walk install (which moves the authoritative
+    # storage into C arrays) must be refused for this hierarchy or
+    # the live closure would silently fork the state — mirror of the
+    # filter's ``_kernel_issued`` contract.
+    h._walk_issued = True
     return factory(h, monitor)

@@ -58,6 +58,10 @@ def _monitored_pair(seed=7):
 
 
 def _assert_hierarchies_equal(ha, hb):
+    # Under the C cache walk the dicts/stats are a batch-synced
+    # mirror; a no-op for the pure-Python engines.
+    ha.engine_sync()
+    hb.engine_sync()
     assert ha.stats == hb.stats
     for group_a, group_b in (
         (ha.l1d, hb.l1d), (ha.l1i, hb.l1i), (ha.l2, hb.l2),
@@ -227,6 +231,10 @@ class TestCBackend:
         mref.attach(href)
         drive(href, href.access, 0, 4_000)
 
+        # Under the C cache walk the Python-side stats are a batch-
+        # synced mirror; comparing mid-session state requires a sync
+        # (design rule 16 — every introspection entry point does this).
+        h.engine_sync()
         assert h.stats == href.stats
         assert dataclasses.asdict(mon.stats) == dataclasses.asdict(mref.stats)
         assert mon.filter.snapshot() == mref.filter.snapshot()
@@ -291,3 +299,139 @@ class TestEngineSelection:
                 got = h2.access(core, op, addr, now=i)
             assert expected == got
         _assert_hierarchies_equal(h1, h2)
+
+
+class TestCCacheWalk:
+    """The full C cache walk (skipped when no toolchain): C-owned
+    storage must replay arbitrary op streams — clflush interleavings,
+    lru_rand draws, monitor captures and prefetch tails — bit-exactly
+    against the generic reference."""
+
+    @pytest.fixture(autouse=True)
+    def _require_c(self):
+        if "c" not in available_engines():
+            pytest.skip("C backend unavailable (no cffi/toolchain)")
+
+    @staticmethod
+    def _install(h):
+        from repro.engine import c_cache
+
+        assert c_cache.install(h)
+        return h._c_state.kernel
+
+    @settings(max_examples=30, deadline=None)
+    @given(records=_records)
+    def test_monitored_random_streams(self, records):
+        # Captures publish through the callback tail, evictions raise
+        # the pEvict hook, and the scheduled prefetches drain through
+        # prefetch_fill back into C — all orderings pinned vs generic.
+        (hg, mg), (hc, mc) = _monitored_pair()
+        kernel = self._install(hc)
+        generic = [
+            hg.access(core, op, line * 64, now=i)
+            for i, (core, op, line) in enumerate(records)
+        ]
+        walked = [
+            kernel(core, op, line * 64, now=i)
+            for i, (core, op, line) in enumerate(records)
+        ]
+        assert generic == walked
+        for mon in (mg, mc):
+            while (t := mon.events.next_time()) is not None:
+                mon.events.run_until(t)
+        _assert_hierarchies_equal(hg, hc)
+        assert dataclasses.asdict(mg.stats) == dataclasses.asdict(mc.stats)
+        assert mg.filter.snapshot() == mc.filter.snapshot()
+        assert mg.captured_lines == mc.captured_lines
+        hc.check_invariants()
+
+    @settings(max_examples=20, deadline=None)
+    @given(records=_records)
+    def test_unmonitored_random_streams(self, records):
+        # lru_rand lockstep: _assert_hierarchies_equal compares the
+        # Mersenne-Twister states, so every victim draw must have
+        # consumed the exact same stream.
+        hg = TABLE_II.build_hierarchy(seed=3)
+        hc = TABLE_II.build_hierarchy(seed=3)
+        kernel = self._install(hc)
+        for i, (core, op, line) in enumerate(records):
+            assert hg.access(core, op, line * 64, now=i) == kernel(
+                core, op, line * 64, now=i
+            )
+        _assert_hierarchies_equal(hg, hc)
+
+    def test_midstream_install_carries_state(self):
+        # Installing after generic-path traffic must seed the C arrays
+        # from the live dicts exactly — counters, stamps, words, RNG.
+        hg = TABLE_II.build_hierarchy(seed=5)
+        hc = TABLE_II.build_hierarchy(seed=5)
+        stream = [
+            ((i * 7) & 3, (0, 1, 0, 3)[i & 3], ((i * 131) % 60_000) * 64)
+            for i in range(12_000)
+        ]
+        for i, (core, op, addr) in enumerate(stream[:5_000]):
+            assert hg.access(core, op, addr, now=i) == hc.access(
+                core, op, addr, now=i
+            )
+        kernel = self._install(hc)
+        for i, (core, op, addr) in enumerate(stream[5_000:], start=5_000):
+            assert hg.access(core, op, addr, now=i) == kernel(
+                core, op, addr, now=i
+            )
+        _assert_hierarchies_equal(hg, hc)
+
+    def test_access_many_batches(self):
+        hg = TABLE_II.build_hierarchy(seed=6)
+        hc = TABLE_II.build_hierarchy(seed=6)
+        self._install(hc)
+        requests = [
+            ((i * 5) & 3, (0, 2, 1, 0)[i & 3], ((i * 389) % 30_000) * 64)
+            for i in range(8_000)
+        ]
+        assert hg.access_many(requests) == hc.access_many(requests)
+        _assert_hierarchies_equal(hg, hc)
+
+    def test_plru_llc_refuses_and_falls_back(self, monkeypatch):
+        # PLRU has no stamp-deterministic victim protocol the C port
+        # reproduces: install must refuse, and the engine seam must
+        # degrade to a (bit-exact) Python kernel, not approximate.
+        from repro.engine import c_cache
+
+        config = dataclasses.replace(SystemConfig(), llc_policy="plru")
+        hc = config.build_hierarchy(seed=0)
+        assert not c_cache.install(hc)
+        assert hc._c_state is None
+        monkeypatch.setenv("REPRO_ENGINE", "c")
+        kernel = hc.engine_access()
+        hg = config.build_hierarchy(seed=0)
+        for i in range(6_000):
+            core, op = i & 3, (0, 0, 1, 2)[i & 3]
+            addr = ((i * 271) % 40_000) * 64
+            assert hg.access(core, op, addr, now=i) == kernel(
+                core, op, addr, now=i
+            )
+        _assert_hierarchies_equal(hg, hc)
+
+    def test_install_refused_once_python_kernel_issued(self):
+        # A specialized kernel closed over the dicts; moving authority
+        # into C afterwards would fork the state (mirror of the
+        # filter's _kernel_issued guard).
+        from repro.engine import c_cache
+
+        h = TABLE_II.build_hierarchy(seed=1)
+        assert build_access_kernel(h) is not None
+        assert not c_cache.install(h)
+
+    def test_introspection_syncs_the_mirror(self):
+        # The guarded read APIs must observe current C state without an
+        # explicit engine_sync.
+        h = TABLE_II.build_hierarchy(seed=2)
+        kernel = self._install(h)
+        kernel(0, 1, 0x4440, 0)
+        kernel(1, 0, 0x4440, 1)
+        line = 0x4440 >> 6
+        assert line in h.l1d[0]
+        assert line in h.l1d[1]
+        assert h.read_version(1, 0x4440) == h.read_version(0, 0x4440)
+        assert any(line in sl for sl in h.llc.slices)
+        h.check_invariants()

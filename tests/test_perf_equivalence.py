@@ -88,6 +88,10 @@ class TestAccessManyEquivalence:
         batched_latencies = batched_h.access_many(requests)
 
         assert serial_latencies == batched_latencies
+        # Under the C cache walk the Python-side stats/dicts are a
+        # batch-synced mirror (design rule 16); the serial side never
+        # bound an engine kernel, so it is already current.
+        batched_h.engine_sync()
         assert serial_h.stats == batched_h.stats
         assert _filter_state(serial_m.filter) == _filter_state(batched_m.filter)
         assert dataclasses.asdict(serial_m.stats) == dataclasses.asdict(
@@ -112,6 +116,7 @@ class TestAccessManyEquivalence:
         requests = _request_stream(count=2000)
         h, _ = _monitored_hierarchy()
         h.access_many(requests)
+        h.engine_sync()
         assert sum(h.stats.per_core_accesses) == h.stats.accesses
         # O(1) resident counters agree with a full walk of the sets.
         for cache in (*h.l1d, *h.l1i, *h.l2, *h.llc.slices):
@@ -156,6 +161,7 @@ class TestBatchPrefetchEquivalence:
             for r in records if r.op is not None
         ]
         assert latencies == expected
+        batched_h.engine_sync()
         assert batched_h.stats == serial_h.stats
 
 
