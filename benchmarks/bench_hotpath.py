@@ -293,6 +293,41 @@ def test_fig8_single_cell(benchmark):
     return result
 
 
+def test_campaign_throughput(benchmark):
+    """Fleet-campaign throughput (tenants/sec): a pinned 32-tenant
+    streamed sweep, serial, folded online — the trajectory point for
+    the PR 8 campaign runner.  Budgets are pinned (not the campaign
+    defaults) so the point stays comparable across PRs; ``operations``
+    is the tenant count, so ``ops_per_sec`` *is* tenants/sec/core.
+    """
+    import warnings
+
+    from repro.experiments.campaign import run as campaign_run
+
+    tenants = 32
+
+    def run(_state):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            campaign_run(
+                seed=0, tenants=tenants, jobs=1, chunk_size=16,
+                benign_instructions=(6_000, 12_000),
+                attack_iterations=(6, 10),
+                covert_bits=(8, 12),
+            )
+
+    result = benchmark.pedantic(
+        run, setup=lambda: ((None,), {}), rounds=3, iterations=1,
+    )
+    if benchmark.stats is not None:
+        benchmark.extra_info["operations"] = tenants
+        benchmark.extra_info["engine"] = effective_engine()
+        benchmark.extra_info["ops_per_sec"] = round(
+            tenants / benchmark.stats.stats.min, 2
+        )
+    return result
+
+
 def test_fig10_detection_cell(benchmark):
     """One end-to-end fig10 cell: Flush+Reload under PiPoMonitor with
     the alarm bus, rate detector, and throttle response all online —

@@ -36,6 +36,7 @@ from repro.detection.responses import (
     ThrottleCorePolicy,
     build_response,
 )
+from repro.detection.fleet import FleetDetectionStats, detector_desc
 from repro.detection.unit import DetectionSpec, DetectionUnit
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "CrossCoreCorrelationDetector",
     "DetectionSpec",
     "DetectionUnit",
+    "FleetDetectionStats",
     "FlushSuspectPolicy",
     "IsolatePolicy",
     "LogPolicy",
@@ -53,5 +55,6 @@ __all__ = [
     "WindowedRateDetector",
     "build_detector",
     "build_response",
+    "detector_desc",
     "replay",
 ]

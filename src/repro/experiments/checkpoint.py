@@ -31,6 +31,19 @@ existing shard (a fresh run never trusts stale bytes); ``resume=True``
 loads every decodable line first, and ``run_cells`` then computes only
 the missing indices.  ``loaded_count`` / ``computed_count`` make the
 split observable to tests and reports.
+
+Creation ordering
+-----------------
+The manifest is written (atomically) *before* the shard is created or
+truncated, so every crash window leaves a recoverable layout: a
+manifest without a shard is a grid that never completed a cell, and a
+shard without a manifest (a pre-hardening layout, or a deleted
+manifest) is detected on open and **reconciled** — the stem embeds the
+grid digest, so a digest-matching shard provably belongs to this exact
+grid and its manifest is derived data (an :class:`OrphanShardWarning`
+is emitted).  A manifest whose contents *contradict* the current grid
+at the same stem (corruption, or a digest-prefix collision) raises
+:class:`CheckpointMismatchError` instead of silently mixing results.
 """
 
 from __future__ import annotations
@@ -41,11 +54,21 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from collections.abc import Callable, Sequence
 from pathlib import Path
 from typing import Any
 
 _FORMAT_VERSION = 1
+
+
+class CheckpointMismatchError(RuntimeError):
+    """An on-disk manifest contradicts the grid that opened it."""
+
+
+class OrphanShardWarning(UserWarning):
+    """A digest-matching shard was found without its manifest and the
+    manifest was re-derived (resume proceeds normally)."""
 
 
 def atomic_write_text(path: Path, text: str) -> None:
@@ -114,14 +137,7 @@ class GridCheckpoint:
         self.loaded: dict[int, Any] = {}
         self.computed_count = 0
         directory.mkdir(parents=True, exist_ok=True)
-        if resume and self.path.exists():
-            self.loaded = self._load()
-        else:
-            # A fresh run never trusts stale bytes: truncate, so an
-            # aborted earlier grid cannot leak half its results into
-            # this one's accounting.
-            self.path.write_text("")
-        atomic_write_json(self.manifest_path, {
+        manifest = {
             "format": "repro-grid-checkpoint",
             "version": _FORMAT_VERSION,
             "label": label,
@@ -130,8 +146,47 @@ class GridCheckpoint:
             "engine": engine,
             "cells": self.num_cells,
             "digest": self.digest,
-        })
+        }
+        existing = self._read_manifest()
+        if existing is not None and existing != manifest:
+            raise CheckpointMismatchError(
+                f"checkpoint manifest {self.manifest_path} does not "
+                f"describe this grid (on disk: {existing!r}; expected: "
+                f"{manifest!r}).  The shard cannot be trusted — delete "
+                f"{self.path} and its manifest, or point "
+                "REPRO_CHECKPOINT_DIR elsewhere."
+            )
+        if existing is None and self.path.exists():
+            # Orphan shard: a crash (or an older layout) left the
+            # shard without its manifest.  The stem embeds the digest
+            # we just recomputed, so the shard belongs to this exact
+            # grid — re-derive the manifest and carry on.
+            warnings.warn(
+                f"checkpoint shard {self.path} had no manifest; "
+                "re-derived it from the digest-matching grid",
+                OrphanShardWarning,
+                stacklevel=2,
+            )
+        # Manifest first: every crash window between here and the
+        # first record() leaves a layout open() can classify.
+        atomic_write_json(self.manifest_path, manifest)
+        if resume and self.path.exists():
+            self.loaded = self._load()
+        else:
+            # A fresh run never trusts stale bytes: truncate, so an
+            # aborted earlier grid cannot leak half its results into
+            # this one's accounting.
+            self.path.write_text("")
         self._fh = self.path.open("a")
+
+    def _read_manifest(self) -> dict | None:
+        """The on-disk manifest, or None when absent/undecodable (an
+        undecodable manifest is recoverable — it is derived data)."""
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
 
     @property
     def loaded_count(self) -> int:

@@ -7,8 +7,16 @@ Examples::
     repro-experiment fig8 --jobs 8
     repro-experiment fig10 --engine c
     repro-experiment fig9 --jobs 4 --checkpoint-dir .ckpt --resume
+    repro-experiment campaign --tenants 100000 --jobs 0
     repro-experiment list
     repro-experiment all
+
+The ``campaign`` experiment is the fleet-scale entry point: it streams
+randomized tenant profiles (``--tenants``, ``--attack-fraction``)
+through the same supervised pool and aggregates online, so memory
+stays flat no matter the fleet size; combined with ``--checkpoint-dir``
+/ ``--resume`` an overnight sweep survives SIGKILL and replays only
+the missing tenants, reaching a bit-identical final report.
 
 Fault tolerance: grid experiments run through the supervised fan-out
 (:mod:`repro.experiments.parallel`) — crashed or hung workers are
@@ -31,6 +39,7 @@ from pathlib import Path
 
 from repro.experiments import (
     baseline_comparison,
+    campaign,
     defense_ablation,
     fig3_occupancy,
     fig4_collisions,
@@ -44,6 +53,7 @@ from repro.experiments import (
 )
 
 EXPERIMENTS = {
+    "campaign": campaign,
     "fig3": fig3_occupancy,
     "fig4": fig4_collisions,
     "fig6": fig6_attack,
@@ -179,6 +189,21 @@ def main(argv: list[str] | None = None) -> int:
              "REPRO_JOBS environment variable; unset falls back to it.",
     )
     parser.add_argument(
+        "--tenants", type=int, default=None, metavar="N",
+        help="campaign fleet size: how many randomized tenant profiles "
+             "to stream (campaign experiment only; default 256)",
+    )
+    parser.add_argument(
+        "--attack-fraction", type=float, default=None, metavar="P",
+        help="campaign probability that a tenant hosts an attacker "
+             "(default 0.25)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="streaming chunk size: cells per checkpoint shard in "
+             "streaming sweeps (default 512)",
+    )
+    parser.add_argument(
         "--engine", choices=("python", "specialized", "c"), default=None,
         help="simulation engine (sets REPRO_ENGINE for this run and "
              "its workers): 'python' = generic reference paths, "
@@ -222,6 +247,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0")
+    if args.tenants is not None and args.tenants < 1:
+        parser.error("--tenants must be >= 1")
+    if args.attack_fraction is not None and not (
+        0.0 <= args.attack_fraction <= 1.0
+    ):
+        parser.error("--attack-fraction must be in [0, 1]")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        parser.error("--chunk-size must be >= 1")
     if args.cell_timeout is not None:
         if args.cell_timeout < 0:
             parser.error("--cell-timeout must be >= 0")
@@ -256,11 +289,18 @@ def main(argv: list[str] | None = None) -> int:
         started = time.time()
         module = EXPERIMENTS[name]
         kwargs = {"seed": args.seed, "full": args.full or None}
-        # Only the grid experiments fan out; the rest (filter sweeps,
-        # attack timelines) are single simulations without a ``jobs``
-        # parameter.
-        if args.jobs is not None and "jobs" in inspect.signature(module.run).parameters:
-            kwargs["jobs"] = args.jobs
+        # Only the grid experiments fan out, and only the streaming
+        # campaign sizes a fleet; the rest (filter sweeps, attack
+        # timelines) are single simulations without these parameters.
+        accepted = inspect.signature(module.run).parameters
+        for name_, value in (
+            ("jobs", args.jobs),
+            ("tenants", args.tenants),
+            ("attack_fraction", args.attack_fraction),
+            ("chunk_size", args.chunk_size),
+        ):
+            if value is not None and name_ in accepted:
+                kwargs[name_] = value
         result = module.run(**kwargs)
         print(result.to_text())
         print(f"[{name} completed in {time.time() - started:.1f}s]\n")

@@ -102,7 +102,7 @@ def _log_only_spec() -> DetectionSpec:
 def _run_alarm_cell(cell):
     """One simulation recording its alarm stream (module-level for the
     process fan-out)."""
-    what, secthr, seed, iterations, covert_bits, benign_insns = cell
+    what, secthr, iterations, covert_bits, benign_insns, seed = cell
     spec = _log_only_spec()
     config = _attack_config(secthr)
     if what == "prime_probe":
@@ -154,7 +154,7 @@ def _run_alarm_cell(cell):
 
 def _run_response_cell(cell):
     """One online response-policy simulation (module-level)."""
-    what, policy, seed, iterations, covert_bits = cell
+    what, policy, iterations, covert_bits, seed = cell
     spec = DetectionSpec(
         detectors=(RESPONSE_DETECTOR,), response=policy, log_alarms=False
     )
@@ -213,23 +213,25 @@ def run(
         covert_bits = max(covert_bits, 96)
         benign_instructions = max(benign_instructions, 120_000)
     cell_seeds = [seed + i for i in range(seeds)]
+    # Cell-tuple discipline: the seed is the final element, so failure
+    # reports can name it (repro.experiments.parallel._cell_seed).
     alarm_cells = [
-        (what, secthr, s, iterations, covert_bits, benign_instructions)
+        (what, secthr, iterations, covert_bits, benign_instructions, s)
         for secthr in SECTHRS
         for what in ATTACKS
         for s in cell_seeds
     ] + [
-        (f"benign:{mix}", secthr, s, iterations, covert_bits,
-         benign_instructions)
+        (f"benign:{mix}", secthr, iterations, covert_bits,
+         benign_instructions, s)
         for secthr in SECTHRS
         for mix in BENIGN_MIXES
         for s in cell_seeds
     ]
     response_cells = [
-        ("covert", policy, seed, iterations, covert_bits)
+        ("covert", policy, iterations, covert_bits, seed)
         for policy in RESPONSE_POLICIES
     ] + [
-        ("adaptive", policy, seed, iterations, covert_bits)
+        ("adaptive", policy, iterations, covert_bits, seed)
         for policy in ("log", "throttle_core")
     ]
 

@@ -50,17 +50,40 @@ serial, parallel, faulted-and-recovered, and killed-and-resumed runs
 must all produce bit-identical experiment results.
 
 ``REPRO_JOBS`` selects the worker count (default ``1`` — serial, no
-processes spawned; ``0`` means one worker per CPU).  Cell functions
-must be module-level (picklable) and take a single argument.  The
-serial path keeps the checkpoint/retry/failure semantics but spawns
-nothing and ignores ``REPRO_FAULTS`` and the cell deadline — it is
-the reference recovered runs are compared against (and it fails fast
-on an exhausted cell, where the parallel path finishes the rest of
-the grid first).
+processes spawned; ``0`` means one worker per CPU — resolved the same
+way whether it arrives via the environment, ``--jobs 0``, or an
+explicit ``jobs=0`` argument).  Cell functions must be module-level
+(picklable) and take a single argument.  The serial path keeps the
+checkpoint/retry/failure semantics but spawns nothing and ignores
+``REPRO_FAULTS`` and the cell deadline — it is the reference
+recovered runs are compared against (and it fails fast on an
+exhausted cell, where the parallel path finishes the rest of the
+grid first).
+
+Streaming grids
+---------------
+:func:`run_cells` materialises its cell list (grids are small).  The
+fleet-scale campaign sweeps (:mod:`.campaign`) instead feed
+:func:`run_stream`: cells are pulled lazily from an iterable in
+bounded chunks, each chunk runs through the *same* supervised worker
+pool (spawned once, reused across chunks), completed values are handed
+to an online ``consume`` callback in cell order and then dropped —
+peak memory is bounded by the chunk size, never by the stream length.
+Each chunk gets its own digest-keyed checkpoint shard (bounded digest
+work per chunk), so a killed campaign resumes by replaying only the
+chunks — and within them only the cells — that never completed.
+
+Cell-tuple discipline
+---------------------
+Grid cells are plain tuples whose **last element is the experiment
+seed** (dataclass/dict cells carry an explicit ``seed`` field
+instead).  :class:`CellFailure` relies on this to surface the seed of
+a failed cell without help from the cell function.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import pickle
@@ -109,6 +132,22 @@ def repro_jobs() -> int:
         ) from None
     if jobs < 0:
         raise ValueError(f"{_ENV_VAR} must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Resolve an explicit ``jobs`` argument the way ``REPRO_JOBS`` is.
+
+    ``None`` defers to the environment; ``0`` means one worker per CPU
+    (the CLI's ``--jobs 0``) — without this mapping an explicit 0
+    would fall through ``jobs <= 1`` and silently serialise the run.
+    """
+    if jobs is None:
+        return repro_jobs()
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
     if jobs == 0:
         return os.cpu_count() or 1
     return jobs
@@ -177,15 +216,16 @@ class CellFailure:
     error: str
     engine: str
     traceback: str = ""
-    #: Best-effort: ``cell.seed`` / ``cell["seed"]`` when the cell
-    #: exposes one; tuple cells carry their seed inside ``cell`` (the
-    #: repr) instead.
+    #: ``cell.seed`` / ``cell["seed"]`` when the cell exposes one;
+    #: for plain tuple cells, the final element (the repo-wide
+    #: cell-tuple discipline — see the module docstring).
     seed: Any = None
 
     def summary(self) -> str:
+        seed = "" if self.seed is None else f", seed {self.seed}"
         return (
             f"cell {self.index} {self.cell} [{self.kind} after "
-            f"{self.attempts} attempt(s), engine {self.engine}]: "
+            f"{self.attempts} attempt(s), engine {self.engine}{seed}]: "
             f"{self.error}"
         )
 
@@ -211,6 +251,13 @@ def _cell_seed(cell) -> Any:
     seed = getattr(cell, "seed", None)
     if seed is None and isinstance(cell, dict):
         seed = cell.get("seed")
+    if seed is None and isinstance(cell, tuple) and cell:
+        # Cell-tuple discipline: the seed is the final element.  Guard
+        # on a non-bool int so cells that end with a flag or a payload
+        # report no seed rather than a wrong one.
+        last = cell[-1]
+        if isinstance(last, int) and not isinstance(last, bool):
+            seed = last
     return seed
 
 
@@ -247,8 +294,7 @@ def run_cells(
     ``REPRO_CHECKPOINT_DIR`` / ``REPRO_RESUME`` pair.
     """
     cell_list: Sequence[Cell] = list(cells)
-    if jobs is None:
-        jobs = repro_jobs()
+    jobs = resolve_jobs(jobs)
     if timeout is None:
         timeout = cell_timeout()
     if retries is None:
@@ -441,8 +487,40 @@ def _pinned_env() -> dict:
     }
 
 
+class _WorkerPool:
+    """A set of supervised workers that outlives one grid.
+
+    ``run_cells`` spins a pool up per call; :func:`run_stream` keeps
+    one alive across every chunk of a campaign so worker spawn cost is
+    paid once per sweep, not once per chunk.  The pool only replaces
+    workers (``respawn``) — scheduling stays in ``_run_supervised``.
+    """
+
+    def __init__(self, fn: Callable, size: int):
+        self.ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        self.fn = fn
+        self.pinned = _pinned_env()
+        self.workers = [
+            _Worker(self.ctx, fn, self.pinned) for _ in range(size)
+        ]
+
+    def respawn(self, slot: int) -> "_Worker":
+        self.workers[slot].kill()
+        self.workers[slot] = _Worker(self.ctx, self.fn, self.pinned)
+        return self.workers[slot]
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            worker.shutdown()
+
+
 def _run_supervised(
-    cell_list, fn, jobs, timeout, retries, on_failure, checkpoint, label
+    cell_list, fn, jobs, timeout, retries, on_failure, checkpoint, label,
+    pool: _WorkerPool | None = None,
 ):
     from repro.engine import effective_engine
 
@@ -461,14 +539,10 @@ def _run_supervised(
     if not pending:
         return [results[i] for i in range(total)]
 
-    ctx = multiprocessing.get_context(
-        "fork"
-        if "fork" in multiprocessing.get_all_start_methods()
-        else None
-    )
-    pinned = _pinned_env()
-    n_workers = min(jobs, len(pending))
-    workers = [_Worker(ctx, fn, pinned) for _ in range(n_workers)]
+    own_pool = pool is None
+    if own_pool:
+        pool = _WorkerPool(fn, min(jobs, len(pending)))
+    workers = pool.workers
 
     def fail_attempt(index: int, kind: str, error: str, tb: str = "") -> None:
         if attempts[index] <= retries:
@@ -507,8 +581,7 @@ def _run_supervised(
                         "worker died before task delivery "
                         f"(exitcode {worker.proc.exitcode})",
                     )
-                    worker.kill()
-                    workers[slot] = _Worker(ctx, fn, pinned)
+                    pool.respawn(slot)
 
             busy = [w for w in workers if w.current is not None]
             if not busy:
@@ -535,9 +608,7 @@ def _run_supervised(
                 except (EOFError, OSError):
                     # The worker died mid-cell: crash detected the
                     # moment its pipe closed, no deadline needed.
-                    slot = workers.index(worker)
-                    worker.kill()
-                    workers[slot] = _Worker(ctx, fn, pinned)
+                    pool.respawn(workers.index(worker))
                     fail_attempt(
                         index, "crash",
                         f"worker crashed (exitcode {worker.proc.exitcode})",
@@ -578,16 +649,15 @@ def _run_supervised(
                     if now - worker.started <= timeout:
                         continue
                     index, attempt = worker.current
-                    worker.kill()
-                    workers[slot] = _Worker(ctx, fn, pinned)
+                    pool.respawn(slot)
                     fail_attempt(
                         index, "hang",
                         f"cell exceeded {_ENV_TIMEOUT}={timeout}s "
                         "and its worker was terminated",
                     )
     finally:
-        for worker in workers:
-            worker.shutdown()
+        if own_pool:
+            pool.shutdown()
 
     if failures:
         ordered = [failures[i] for i in sorted(failures)]
@@ -598,3 +668,144 @@ def _run_supervised(
             for i in range(total)
         ]
     return [results[i] for i in range(total)]
+
+
+# ----------------------------------------------------------------------
+# Streaming path — bounded-memory sweeps over lazily generated cells
+# ----------------------------------------------------------------------
+
+#: Cells per streamed chunk: one checkpoint shard, one digest, one
+#: bounded batch of in-flight results.
+DEFAULT_CHUNK_SIZE = 512
+
+
+@dataclass
+class StreamStats:
+    """What one streaming sweep did, without its per-cell results."""
+
+    #: Cells pulled from the stream.
+    total: int = 0
+    #: Cells actually computed this run.
+    computed: int = 0
+    #: Cells replayed from checkpoint shards instead of computed.
+    loaded: int = 0
+    #: Chunks the stream was split into.
+    chunks: int = 0
+    #: Cells that exhausted their retries (``on_failure="partial"``).
+    failures: list[CellFailure] = field(default_factory=list)
+
+
+def run_stream(
+    cells: Iterable[Cell],
+    fn: Callable[[Cell], Any],
+    consume: Callable[[int, Any], None],
+    *,
+    jobs: int | None = None,
+    label: str | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    on_failure: str | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    directory: str | os.PathLike | None = None,
+    resume: bool | None = None,
+) -> StreamStats:
+    """Apply ``fn`` to a lazily generated cell stream, handing each
+    completed value to ``consume(index, value)`` in cell order.
+
+    The streaming sibling of :func:`run_cells` for sweeps too large to
+    materialise: cells are pulled from ``cells`` in chunks of
+    ``chunk_size``, each chunk runs through the same supervised worker
+    pool (spawned once for the whole stream), and completed values are
+    consumed and dropped — peak memory is bounded by the chunk size.
+    ``consume`` must fold online (sufficient statistics, sketches);
+    collecting values into a list reintroduces exactly the
+    per-run-record blowup this entry point exists to avoid.
+
+    Checkpointing is per chunk: with a checkpoint directory configured
+    (``directory`` argument or ``REPRO_CHECKPOINT_DIR``), chunk ``k``
+    of a stream labelled ``L`` streams to the digest-keyed shard
+    ``L-<k>-<digest>``, so digest work stays bounded per chunk and a
+    killed sweep resumes (``resume`` / ``REPRO_RESUME``) by replaying
+    only the cells whose chunks never completed.  Resumed values flow
+    through ``consume`` in the same order as computed ones — an
+    interrupted-and-resumed sweep folds to *bit-identical* aggregate
+    state.  Injected faults (``REPRO_FAULTS``) key on chunk-local
+    indices, so every chunk faces the same deterministic fault
+    schedule.
+
+    ``on_failure="raise"`` raises :class:`GridExecutionError` after
+    the failing chunk completes (later cells are never pulled);
+    ``"partial"`` records failures in :class:`StreamStats` and keeps
+    streaming — failed cells are *not* consumed.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    jobs = resolve_jobs(jobs)
+    if timeout is None:
+        timeout = cell_timeout()
+    if retries is None:
+        retries = cell_retries()
+    if on_failure is None:
+        on_failure = failure_policy()
+    elif on_failure not in FAILURE_POLICIES:
+        raise ValueError(
+            f"on_failure must be one of {FAILURE_POLICIES}, got {on_failure!r}"
+        )
+    label = label or _auto_label(fn)
+    if directory is None:
+        directory = checkpoint_dir()
+    if resume is None:
+        resume = resume_enabled()
+
+    stats = StreamStats()
+    pool: _WorkerPool | None = None
+    iterator = iter(cells)
+    offset = 0
+    try:
+        while True:
+            chunk = list(itertools.islice(iterator, chunk_size))
+            if not chunk:
+                break
+            checkpoint = None
+            if directory is not None:
+                checkpoint = GridCheckpoint(
+                    directory, f"{label}-{stats.chunks:06d}", chunk, fn,
+                    resume=resume,
+                )
+            try:
+                if jobs <= 1:
+                    out = _run_serial(
+                        chunk, fn, retries, "partial", checkpoint
+                    )
+                else:
+                    if pool is None:
+                        pool = _WorkerPool(fn, jobs)
+                    out = _run_supervised(
+                        chunk, fn, jobs, timeout, retries, "partial",
+                        checkpoint, label, pool=pool,
+                    )
+                if checkpoint is not None:
+                    stats.loaded += checkpoint.loaded_count
+                    stats.computed += checkpoint.computed_count
+                else:
+                    stats.computed += sum(
+                        not isinstance(v, CellFailure) for v in out
+                    )
+            finally:
+                if checkpoint is not None:
+                    checkpoint.close()
+            stats.total += len(chunk)
+            stats.chunks += 1
+            for local, value in enumerate(out):
+                if isinstance(value, CellFailure):
+                    value.index = offset + local
+                    stats.failures.append(value)
+                else:
+                    consume(offset + local, value)
+            offset += len(chunk)
+            if stats.failures and on_failure == "raise":
+                raise GridExecutionError(stats.failures, stats.total)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return stats

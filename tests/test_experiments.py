@@ -136,7 +136,7 @@ class TestCli:
     def test_registry_covers_all_artefacts(self):
         assert set(EXPERIMENTS) == {
             "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "secthr", "overhead", "baselines", "ablation",
+            "secthr", "overhead", "baselines", "ablation", "campaign",
         }
 
     def test_cli_runs_overhead(self, capsys):
@@ -168,3 +168,31 @@ class TestCli:
         assert captured["jobs"] is None
         with pytest.raises(SystemExit):
             cli_main(["fig8", "--jobs", "-1"])
+
+    def test_cli_campaign_flags_reach_run(self, monkeypatch, capsys):
+        captured = {}
+
+        class Stub:
+            @staticmethod
+            def run(seed=0, full=None, jobs=None, tenants=256,
+                    attack_fraction=0.25, chunk_size=None):
+                captured.update(
+                    tenants=tenants,
+                    attack_fraction=attack_fraction,
+                    chunk_size=chunk_size,
+                )
+                return ExperimentResult("stub", "stub title")
+
+        monkeypatch.setitem(EXPERIMENTS, "campaign", Stub)
+        assert cli_main([
+            "campaign", "--tenants", "50",
+            "--attack-fraction", "0.5", "--chunk-size", "10",
+        ]) == 0
+        assert captured == {
+            "tenants": 50, "attack_fraction": 0.5, "chunk_size": 10,
+        }
+        for bad in (["campaign", "--tenants", "0"],
+                    ["campaign", "--attack-fraction", "1.5"],
+                    ["campaign", "--chunk-size", "0"]):
+            with pytest.raises(SystemExit):
+                cli_main(bad)

@@ -37,14 +37,21 @@ from repro.engine import (
     available_engines,
     engine_provenance,
 )
-from repro.experiments.checkpoint import GridCheckpoint, grid_digest
+from repro.experiments.checkpoint import (
+    CheckpointMismatchError,
+    GridCheckpoint,
+    OrphanShardWarning,
+    grid_digest,
+)
 from repro.experiments.faults import CRASH_EXIT_CODE, FaultPlan
 from repro.experiments.parallel import (
     CellFailure,
     GridExecutionError,
+    _cell_seed,
     cell_retries,
     cell_timeout,
     failure_policy,
+    resolve_jobs,
     run_cells,
 )
 from repro.utils.bitops import mix64
@@ -393,6 +400,285 @@ print("MATCH" if out == expected else "MISMATCH", len(out))
     )
     assert out.returncode == 0, out.stdout
     assert f"MATCH {len(CELLS)}" in out.stdout
+
+
+# ----------------------------------------------------------------------
+# Streaming sweeps: run_stream == run_cells, chunked checkpoints resume
+# ----------------------------------------------------------------------
+
+def test_run_stream_consumes_in_order_and_matches_serial():
+    from repro.experiments.parallel import run_stream
+
+    consumed: dict[int, int] = {}
+    order: list[int] = []
+
+    def consume(index, value):
+        consumed[index] = value
+        order.append(index)
+
+    stats = run_stream(
+        iter(CELLS), _mix_cell, consume,
+        jobs=JOBS, chunk_size=3, label="stream",
+    )
+    assert [consumed[i] for i in range(len(CELLS))] == SERIAL
+    assert order == sorted(order)
+    assert stats.total == len(CELLS)
+    assert stats.computed == len(CELLS)
+    assert stats.chunks == 4  # 3+3+3+1
+    assert not stats.failures
+
+
+def test_run_stream_faults_recover_bit_identical(monkeypatch):
+    from repro.experiments.parallel import run_stream
+
+    monkeypatch.setenv("REPRO_FAULTS", "crash:0.4")
+    monkeypatch.setenv("REPRO_FAULT_SEED", "5")
+    consumed: dict[int, int] = {}
+    stats = run_stream(
+        iter(CELLS), _mix_cell, consumed.__setitem__,
+        jobs=JOBS, chunk_size=4, retries=6, label="stream",
+    )
+    assert [consumed[i] for i in range(len(CELLS))] == SERIAL
+    assert not stats.failures
+
+
+def test_run_stream_partial_skips_failed_cells(monkeypatch):
+    from repro.experiments.parallel import run_stream
+
+    monkeypatch.setenv("REPRO_FAULTS", "crash:1.0")
+    monkeypatch.setenv("REPRO_FAULT_SEED", "5")
+    consumed: dict[int, int] = {}
+    stats = run_stream(
+        iter(CELLS), _mix_cell, consumed.__setitem__,
+        jobs=JOBS, chunk_size=4, retries=0, on_failure="partial",
+        label="stream",
+    )
+    assert consumed == {}  # every cell crashed; nothing consumed
+    assert len(stats.failures) == len(CELLS)
+    # Failure indices are stream-global, not chunk-local.
+    assert sorted(f.index for f in stats.failures) == list(range(len(CELLS)))
+    assert all(f.seed == CELLS[f.index][-1] for f in stats.failures)
+
+
+def test_run_stream_raise_policy_stops_after_failing_chunk(monkeypatch):
+    from repro.experiments.parallel import run_stream
+
+    monkeypatch.setenv("REPRO_FAULTS", "crash:1.0")
+    monkeypatch.setenv("REPRO_FAULT_SEED", "5")
+    pulled: list[int] = []
+
+    def cells():
+        for cell in CELLS:
+            pulled.append(cell[0])
+            yield cell
+
+    with pytest.raises(GridExecutionError):
+        run_stream(
+            cells(), _mix_cell, lambda i, v: None,
+            jobs=JOBS, chunk_size=4, retries=0, on_failure="raise",
+            label="stream",
+        )
+    # Later chunks were never pulled from the stream.
+    assert len(pulled) <= 2 * 4
+
+
+def test_run_stream_checkpoint_resume_is_bit_identical(tmp_path, monkeypatch):
+    from repro.experiments.parallel import run_stream
+
+    # First pass: kill cells via fault exhaustion, shards keep the rest.
+    monkeypatch.setenv("REPRO_FAULTS", "crash:0.4")
+    monkeypatch.setenv("REPRO_FAULT_SEED", "5")
+    first: dict[int, int] = {}
+    stats = run_stream(
+        iter(CELLS), _mix_cell, first.__setitem__,
+        jobs=JOBS, chunk_size=4, retries=0, on_failure="partial",
+        label="stream", directory=tmp_path,
+    )
+    assert stats.failures, "fault seed must kill at least one cell"
+    monkeypatch.delenv("REPRO_FAULTS")
+
+    # Resume: only missing cells recompute; consumption is in order and
+    # the full fold matches the serial reference.
+    second: dict[int, int] = {}
+    resumed = run_stream(
+        iter(CELLS), _mix_cell, second.__setitem__,
+        jobs=JOBS, chunk_size=4, label="stream",
+        directory=tmp_path, resume=True,
+    )
+    assert [second[i] for i in range(len(CELLS))] == SERIAL
+    assert resumed.loaded == stats.computed
+    assert resumed.computed == len(CELLS) - stats.computed
+
+
+# ----------------------------------------------------------------------
+# Satellite: the cell seed survives into failure reports
+# ----------------------------------------------------------------------
+
+def test_cell_seed_follows_the_tuple_discipline():
+    # Shapes lifted from every grid runner: the seed is the last
+    # element (fig8/secthr/baselines, fig9, ablation, fig10).
+    assert _cell_seed(("mix1", None, False, 2_000_000, 42)) == 42
+    assert _cell_seed(("flush_reload", "pipo", 100, 7)) == 7
+    assert _cell_seed(("lru_rand", None, 32, 0)) == 0
+    assert _cell_seed(("covert", "log", 32, 48, 5)) == 5
+    # Attribute and mapping cells win over the tuple rule.
+    assert _cell_seed({"seed": 9}) == 9
+    # Non-seed tails must NOT be misreported as seeds.
+    assert _cell_seed(("mix1", True)) is None     # bool is a flag
+    assert _cell_seed(("mix1", 0.25)) is None     # float is a payload
+    assert _cell_seed(("mix1", "pipo")) is None
+    assert _cell_seed(()) is None
+
+
+def test_all_grid_runners_embed_seed_in_their_cells(monkeypatch):
+    """Every cell any registered grid experiment would fan out carries
+    an extractable seed — the property that makes CellFailure reports
+    actionable at campaign scale."""
+    from repro.experiments import (
+        baseline_comparison,
+        defense_ablation,
+        fig8_performance,
+        fig9_flush_attacks,
+        fig10_detection,
+        secthr_sensitivity,
+    )
+
+    modules = (
+        baseline_comparison, defense_ablation, fig8_performance,
+        fig9_flush_attacks, fig10_detection, secthr_sensitivity,
+    )
+    for module in modules:
+        recorded: list[list] = []
+
+        def fake_run_cells(cells, fn, **kwargs):
+            recorded.append(list(cells))
+            return []
+
+        monkeypatch.setattr(module, "run_cells", fake_run_cells)
+        try:
+            module.run(seed=7, jobs=1)
+        except Exception:
+            pass  # empty grids break downstream reporting; irrelevant
+        assert recorded, f"{module.__name__} never fanned out"
+        for cells in recorded:
+            assert cells, f"{module.__name__} built an empty grid"
+            for cell in cells:
+                seed = _cell_seed(cell)
+                assert isinstance(seed, int), (
+                    f"{module.__name__} cell {cell!r} has no "
+                    f"extractable seed"
+                )
+
+
+def test_campaign_profile_exposes_seed():
+    from repro.experiments.campaign import sample_profile
+
+    profile = sample_profile(3, 17)
+    assert _cell_seed(profile) == profile.seed
+
+
+def test_failure_summary_renders_seed():
+    failure = CellFailure(
+        index=3, cell=repr(("mix1", 42)), attempts=2, kind="crash",
+        error="boom", engine="python", seed=42,
+    )
+    assert ", seed 42]" in failure.summary()
+    anonymous = CellFailure(
+        index=3, cell="x", attempts=1, kind="hang",
+        error="boom", engine="python",
+    )
+    assert "seed" not in anonymous.summary()
+
+
+def test_failure_carries_tuple_seed_across_pool():
+    with pytest.raises(GridExecutionError) as excinfo:
+        run_cells(CELLS, _failing_cell, jobs=JOBS, retries=0,
+                  on_failure="raise")
+    failure = excinfo.value.failures[0]
+    assert failure.seed == CELLS[failure.index][-1]
+    assert f", seed {failure.seed}]" in failure.summary()
+
+
+# ----------------------------------------------------------------------
+# Satellite: checkpoint creation ordering (orphan shards, mismatches)
+# ----------------------------------------------------------------------
+
+def test_manifest_written_before_shard(tmp_path):
+    ckpt = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell)
+    assert ckpt.manifest_path.exists()
+    assert ckpt.path.exists()
+    ckpt.close()
+
+
+def test_orphan_shard_is_reconciled_on_open(tmp_path):
+    first = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell)
+    run_cells(CELLS, _mix_cell, jobs=1, checkpoint=first)
+    first.close()
+    # Simulate the pre-hardening crash window: shard without manifest.
+    first.manifest_path.unlink()
+    with pytest.warns(OrphanShardWarning):
+        second = GridCheckpoint(
+            tmp_path, "grid", CELLS, _mix_cell, resume=True
+        )
+    assert second.loaded_count == len(CELLS)
+    assert second.manifest_path.exists()
+    out = run_cells(CELLS, _mix_cell, jobs=1, checkpoint=second)
+    second.close()
+    assert out == SERIAL
+    assert second.computed_count == 0
+
+
+def test_contradicting_manifest_refuses_to_open(tmp_path):
+    import json
+
+    first = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell)
+    first.close()
+    manifest = json.loads(first.manifest_path.read_text())
+    manifest["cells"] = 999
+    first.manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(CheckpointMismatchError, match="does not describe"):
+        GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell, resume=True)
+
+
+def test_undecodable_manifest_is_rederived(tmp_path):
+    first = GridCheckpoint(tmp_path, "grid", CELLS, _mix_cell)
+    run_cells(CELLS, _mix_cell, jobs=1, checkpoint=first)
+    first.close()
+    first.manifest_path.write_text("{ truncated")
+    with pytest.warns(OrphanShardWarning):
+        second = GridCheckpoint(
+            tmp_path, "grid", CELLS, _mix_cell, resume=True
+        )
+    assert second.loaded_count == len(CELLS)
+    second.close()
+
+
+# ----------------------------------------------------------------------
+# Satellite: --jobs 0 means one worker per CPU, never silent serial
+# ----------------------------------------------------------------------
+
+def test_resolve_jobs_contract(monkeypatch):
+    import repro.experiments.parallel as parallel_mod
+
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(1) == 1
+    monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 7)
+    assert resolve_jobs(0) == 7
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert resolve_jobs(None) == 7
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs(None) == 5
+    monkeypatch.delenv("REPRO_JOBS")
+    assert resolve_jobs(None) == 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+
+
+def test_run_cells_jobs_zero_fans_out(monkeypatch):
+    import repro.experiments.parallel as parallel_mod
+
+    monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 2)
+    assert run_cells(CELLS, _mix_cell, jobs=0) == SERIAL
 
 
 # ----------------------------------------------------------------------
