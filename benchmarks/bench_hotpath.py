@@ -270,6 +270,79 @@ def test_filter_access_mixed(benchmark):
 
 
 # ----------------------------------------------------------------------
+# Batched storage-mode filter cells (the standalone-filter surface).
+# All three go through the engine batch seam (``filter.engine_batch()``)
+# with ``array('Q')`` key buffers, so the C legs measure the one-
+# crossing-per-batch kernels (zero-copy via ffi.from_buffer) against
+# the per-key loops of the other engines.
+# ----------------------------------------------------------------------
+
+BATCH_OPS = 1_000_000
+
+
+def _u64_array(seed, count, modulus):
+    from array import array
+
+    return array("Q", _lcg_stream(seed, count, modulus))
+
+
+def test_filter_batch_insert_cold(benchmark):
+    """Cold insert-heavy: 1 M distinct keys bulk-loaded into a
+    ``from_fpp``-sized filter — the LSM compaction-rebuild shape."""
+    def setup():
+        fltr = AutoCuckooFilter.from_fpp(BATCH_OPS, 1e-3, seed=0)
+        return fltr.engine_batch(), _u64_array(7, BATCH_OPS, 1 << 60)
+
+    def run(state):
+        batch, keys = state
+        batch.insert_many(keys)
+
+    _bench_ops(benchmark, run, setup, BATCH_OPS)
+
+
+def test_filter_batch_query_hits(benchmark):
+    """Query-hit-dominated: a 1 M-key read stream cycling a resident
+    set — the LSM point-read shape (every probe scans both buckets)."""
+    residents = 1 << 18
+
+    def setup():
+        fltr = AutoCuckooFilter.from_fpp(residents, 1e-3, seed=0)
+        batch = fltr.engine_batch()
+        batch.insert_many(_u64_array(11, residents, 1 << 60))
+        return batch, _u64_array(11, BATCH_OPS, 1 << 60)
+
+    def run(state):
+        batch, keys = state
+        batch.query_many(keys)
+
+    _bench_ops(benchmark, run, setup, BATCH_OPS)
+
+
+def test_filter_batch_mixed_deletes(benchmark):
+    """Mixed with deletes at 1 M+ keys on the paper's default geometry
+    (key space 2x capacity, as ``test_filter_access_mixed``): 1 M
+    monitor accesses — hits, insertions, kick walks, autonomic
+    deletions — then a 250 k delete wave.  This is the cell the
+    batched-C-vs-per-key speedup gate is measured on."""
+    deletes = BATCH_OPS // 4
+
+    def setup():
+        fltr = AutoCuckooFilter(seed=0)
+        return (
+            fltr.engine_batch(),
+            _u64_array(999, BATCH_OPS, 1 << 14),
+            _u64_array(998, deletes, 1 << 14),
+        )
+
+    def run(state):
+        batch, accesses, victims = state
+        batch.access_many(accesses)
+        batch.delete_many(victims)
+
+    _bench_ops(benchmark, run, setup, BATCH_OPS + deletes)
+
+
+# ----------------------------------------------------------------------
 # End-to-end: one Fig. 8 cell
 # ----------------------------------------------------------------------
 

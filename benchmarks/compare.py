@@ -35,6 +35,38 @@ from pathlib import Path
 
 TRAJECTORY_PATH = Path(__file__).resolve().parent / "results" / "BENCH_trajectory.json"
 
+#: The bench_hotpath.py cells by subsystem, so a diff can focus on the
+#: layer a PR touched (``--group filter_batch`` after a batch-kernel
+#: change, ``--group walk`` after a cache-walk change).  Kept in sync
+#: with bench_hotpath.py by tests/test_compare_tool.py.
+CELL_GROUPS = {
+    "access": (
+        "test_access_l1_hit",
+        "test_access_many_l1_hit",
+        "test_access_llc_hit",
+        "test_access_miss",
+    ),
+    "walk": (
+        "test_walk_l1_hit_dominated",
+        "test_walk_miss_fill",
+        "test_walk_evict_heavy_monitored",
+    ),
+    "filter": (
+        "test_filter_access_hits",
+        "test_filter_access_mixed",
+    ),
+    "filter_batch": (
+        "test_filter_batch_insert_cold",
+        "test_filter_batch_query_hits",
+        "test_filter_batch_mixed_deletes",
+    ),
+    "end_to_end": (
+        "test_fig8_single_cell",
+        "test_campaign_throughput",
+        "test_fig10_detection_cell",
+    ),
+}
+
 
 def load_record(source: str, trajectory: bool, engine: str | None = None) -> dict:
     """Load a compact benchmark record from a file or a trajectory commit.
@@ -89,7 +121,11 @@ def load_record(source: str, trajectory: bool, engine: str | None = None) -> dic
                 f"one with: REPRO_ENGINE={engine} benchmarks/run_perf.sh"
             )
         matches = legs
-    record = matches[-1]  # latest run of that commit (and leg)
+    # A commit can also carry non-hotpath records (e.g. `lsm` sweep
+    # entries); prefer the latest entry that actually has a
+    # benchmarks section rather than erroring on a newer sweep stamp.
+    with_benchmarks = [e for e in matches if "benchmarks" in e]
+    record = (with_benchmarks or matches)[-1]
     if "benchmarks" not in record:
         raise SystemExit(
             f"error: trajectory entry for commit {source!r} has no "
@@ -100,11 +136,19 @@ def load_record(source: str, trajectory: bool, engine: str | None = None) -> dic
 
 def compare(
     baseline: dict, candidate: dict, threshold: float,
-    cross_engine: bool = False,
+    cross_engine: bool = False, group: str | None = None,
 ) -> int:
     base = baseline["benchmarks"]
     cand = candidate["benchmarks"]
     shared = sorted(set(base) & set(cand))
+    if group is not None:
+        wanted = set(CELL_GROUPS[group])
+        shared = [name for name in shared if name in wanted]
+        if not shared:
+            raise SystemExit(
+                f"error: the records share no benchmarks in group "
+                f"{group!r} ({', '.join(CELL_GROUPS[group])})"
+            )
     if not shared:
         raise SystemExit("error: records share no benchmarks")
     # Pre-PR-4 trajectory records carry no engine stamp; print
@@ -170,6 +214,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="allow records from different engines to be "
                              "diffed (default: refuse — such a diff "
                              "measures the engine, not the change)")
+    parser.add_argument("--group", choices=sorted(CELL_GROUPS),
+                        default=None,
+                        help="diff only this subsystem's cells (see "
+                             "CELL_GROUPS)")
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error("--threshold must be in (0, 1)")
@@ -178,7 +226,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline = load_record(args.baseline, args.trajectory, args.engine)
     candidate = load_record(args.candidate, args.trajectory, args.engine)
     return compare(baseline, candidate, args.threshold,
-                   cross_engine=args.cross_engine)
+                   cross_engine=args.cross_engine, group=args.group)
 
 
 if __name__ == "__main__":

@@ -7,9 +7,9 @@ Demonstrates, in order (Sections V-A and VI-B):
    deletes the victim's record through an alias address;
 2. the prior-work full-tag table's deterministic eviction — a chosen
    record dies after exactly `ways` crafted fills;
-3. the Auto-Cuckoo filter under the same goals: no delete interface,
-   brute force costs ~b·l fills, and crafted fills lose their edge as
-   MNK grows.
+3. the Auto-Cuckoo filter under the same goals: the monitor protocol
+   exposes only ``access`` (no delete message to alias), brute force
+   costs ~b·l fills, and crafted fills lose their edge as MNK grows.
 
 Run:  python examples/reverse_attack_demo.py
 """
@@ -58,8 +58,14 @@ def auto_cuckoo_resists() -> None:
     fltr = AutoCuckooFilter(num_buckets=64, entries_per_bucket=8,
                             fingerprint_bits=14, max_kicks=4,
                             seed=5, instrument=True)
-    print(f"no delete interface: hasattr(filter, 'delete') = "
-          f"{hasattr(fltr, 'delete')}")
+    # The monitor's Query/Response protocol carries a single message —
+    # access(addr) — so a cache-side adversary has no delete to alias.
+    # (The standalone storage surface does offer delete/insert/query,
+    # but the monitor deployment never wires it up.)
+    probes = sum(1 for _ in range(16) if fltr.access(TARGET) >= 0)
+    print(f"monitor protocol: access-only; {probes} probes of the "
+          f"target never removed it (autonomic deletions = "
+          f"{fltr.autonomic_deletions})")
     fill_to_capacity(fltr, seed=6)
     outcome = brute_force_attack(fltr, TARGET, seed=7)
     print(f"brute force: {outcome.fills:,} fills to evict the target "

@@ -261,3 +261,82 @@ def filter_access(flt):
         if kernel is not None:
             return kernel
     return type(flt).access.__get__(flt, type(flt))
+
+
+class SpecializedFilterBatch:
+    """Batch view over a filter whose ``access_many`` drives the
+    per-key specialized kernel; the storage batch ops delegate to the
+    reference implementations (state-identical by construction).
+
+    This is the quiet middle rung of the batch ladder: no C toolchain
+    (or an ineligible filter) still gets the fused per-key kernel for
+    the protocol path instead of dropping all the way to generic.
+    """
+
+    __slots__ = ("filter", "_kernel", "_threshold")
+
+    def __init__(self, flt, kernel):
+        self.filter = flt
+        self._kernel = kernel
+        self._threshold = flt.security_threshold
+
+    def access_many(self, keys) -> int:
+        kernel = self._kernel
+        threshold = self._threshold
+        return sum(1 for key in keys if kernel(key) >= threshold)
+
+    def insert_many(self, keys) -> int:
+        return self.filter.insert_many(keys)
+
+    def query_many(self, keys) -> int:
+        return self.filter.query_many(keys)
+
+    def delete_many(self, keys) -> int:
+        return self.filter.delete_many(keys)
+
+    def insert(self, key) -> bool:
+        return self.filter.insert(key)
+
+    def query(self, key) -> bool:
+        return self.filter.query(key)
+
+    def delete(self, key) -> bool:
+        return self.filter.delete(key)
+
+
+def filter_batch(flt):
+    """The batched filter entry points under the selected engine.
+
+    Returns an object exposing ``access_many`` / ``insert_many`` /
+    ``query_many`` / ``delete_many`` (plus the scalar storage ops)
+    over ``flt``'s state:
+
+    * ``c`` — ``flt`` itself after :func:`c_backend.install` rebinds
+      every entry point to the batched C kernels (one boundary
+      crossing per ``array('Q')`` buffer);
+    * ``specialized`` — a :class:`SpecializedFilterBatch` view driving
+      ``access_many`` through the per-key fused kernel;
+    * ``python`` (or any unsupported configuration) — ``flt`` itself,
+      whose reference batch methods are already inlined loops.
+
+    All rungs are bit-identical over the table state; the ladder and
+    fallback semantics mirror :func:`filter_access`.
+    """
+    if getattr(flt, "_c_state", None) is not None:
+        return flt
+    name = engine_name()
+    if name == "c":
+        from repro.engine import c_backend
+
+        if c_backend.install(flt):
+            return flt
+        if not c_backend.available():
+            note_fallback("c", "specialized", c_backend.unavailable_reason())
+        name = "specialized"
+    if name == "specialized":
+        from repro.engine.specialize import build_filter_kernel
+
+        kernel = build_filter_kernel(flt)
+        if kernel is not None:
+            return SpecializedFilterBatch(flt, kernel)
+    return flt

@@ -55,7 +55,9 @@ import tempfile
 import traceback
 from pathlib import Path
 
-from repro.engine import _walk_src
+from array import array
+
+from repro.engine import _filter_batch_src, _walk_src
 
 _U64 = (1 << 64) - 1
 
@@ -114,6 +116,73 @@ static inline uint64_t acf_mix(uint64_t z)
     return z ^ (z >> 31);
 }
 
+/* _insert_new: vacancy scan then the LCG kick walk with autonomic
+ * deletion at MNK (never fails).  Shared by acf_access's miss path
+ * and the storage-mode acf_insert (see _filter_batch_src). */
+static void acf_insert_new(acf_state *st, uint32_t fp, uint32_t i1,
+                           uint32_t i2)
+{
+    const uint32_t b = st->entries_per_bucket;
+    uint32_t vidx = i1;
+    uint16_t *row = st->fps + (size_t)i1 * b;
+    int slot = -1;
+    for (uint32_t s = 0; s < b; s++)
+        if (row[s] == 0) { slot = (int)s; break; }
+    if (slot < 0) {
+        vidx = i2;
+        row = st->fps + (size_t)i2 * b;
+        for (uint32_t s = 0; s < b; s++)
+            if (row[s] == 0) { slot = (int)s; break; }
+    }
+    if (slot >= 0) {
+        st->fps[(size_t)vidx * b + (size_t)slot] = (uint16_t)fp;
+        st->security[(size_t)vidx * b + (size_t)slot] = 0;
+        st->valid_count++;
+        return;
+    }
+
+    uint64_t state = st->lcg;
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    uint32_t kidx = (state >> 63) ? i1 : i2;
+    uint32_t carried_fp = fp;
+    uint8_t carried_sec = 0;
+    uint32_t rel = 0;
+    for (;;) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        uint32_t kslot = st->has_slot_mask
+            ? (uint32_t)((state >> 33) & st->slot_mask)
+            : (uint32_t)((state >> 33) % b);
+        uint16_t *krow = st->fps + (size_t)kidx * b;
+        uint8_t *ksec = st->security + (size_t)kidx * b;
+        uint16_t tf = krow[kslot];
+        krow[kslot] = (uint16_t)carried_fp;
+        carried_fp = tf;
+        uint8_t ts = ksec[kslot];
+        ksec[kslot] = carried_sec;
+        carried_sec = ts;
+        if (rel == st->max_kicks) {
+            st->autonomic_deletions++;
+            st->total_relocations += rel;
+            st->lcg = state;
+            return;
+        }
+        rel++;
+        kidx ^= st->alt_xor[carried_fp];
+        krow = st->fps + (size_t)kidx * b;
+        int empty = -1;
+        for (uint32_t s = 0; s < b; s++)
+            if (krow[s] == 0) { empty = (int)s; break; }
+        if (empty < 0)
+            continue;
+        krow[empty] = (uint16_t)carried_fp;
+        st->security[(size_t)kidx * b + (size_t)empty] = carried_sec;
+        st->valid_count++;
+        st->total_relocations += rel;
+        st->lcg = state;
+        return;
+    }
+}
+
 int acf_access(acf_state *st, uint64_t key)
 {
     const uint32_t b = st->entries_per_bucket;
@@ -144,65 +213,9 @@ int acf_access(acf_state *st, uint64_t key)
         return (int)v;
     }
 
-    /* Miss: _insert_new (never fails; autonomic deletion at MNK). */
-    uint32_t vidx = i1;
-    row = st->fps + (size_t)i1 * b;
-    slot = -1;
-    for (uint32_t s = 0; s < b; s++)
-        if (row[s] == 0) { slot = (int)s; break; }
-    if (slot < 0) {
-        vidx = i2;
-        row = st->fps + (size_t)i2 * b;
-        for (uint32_t s = 0; s < b; s++)
-            if (row[s] == 0) { slot = (int)s; break; }
-    }
-    if (slot >= 0) {
-        st->fps[(size_t)vidx * b + (size_t)slot] = (uint16_t)fp;
-        st->security[(size_t)vidx * b + (size_t)slot] = 0;
-        st->valid_count++;
-        return 0;
-    }
-
-    uint64_t state = st->lcg;
-    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
-    uint32_t kidx = (state >> 63) ? i1 : i2;
-    uint32_t carried_fp = fp;
-    uint8_t carried_sec = 0;
-    uint32_t rel = 0;
-    for (;;) {
-        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
-        uint32_t kslot = st->has_slot_mask
-            ? (uint32_t)((state >> 33) & st->slot_mask)
-            : (uint32_t)((state >> 33) % b);
-        uint16_t *krow = st->fps + (size_t)kidx * b;
-        uint8_t *ksec = st->security + (size_t)kidx * b;
-        uint16_t tf = krow[kslot];
-        krow[kslot] = (uint16_t)carried_fp;
-        carried_fp = tf;
-        uint8_t ts = ksec[kslot];
-        ksec[kslot] = carried_sec;
-        carried_sec = ts;
-        if (rel == st->max_kicks) {
-            st->autonomic_deletions++;
-            st->total_relocations += rel;
-            st->lcg = state;
-            return 0;
-        }
-        rel++;
-        kidx ^= st->alt_xor[carried_fp];
-        krow = st->fps + (size_t)kidx * b;
-        int empty = -1;
-        for (uint32_t s = 0; s < b; s++)
-            if (krow[s] == 0) { empty = (int)s; break; }
-        if (empty < 0)
-            continue;
-        krow[empty] = (uint16_t)carried_fp;
-        st->security[(size_t)kidx * b + (size_t)empty] = carried_sec;
-        st->valid_count++;
-        st->total_relocations += rel;
-        st->lcg = state;
-        return 0;
-    }
+    /* Miss: insert a fresh entry. */
+    acf_insert_new(st, fp, i1, i2);
+    return 0;
 }
 
 uint64_t acf_access_many(acf_state *st, const uint64_t *keys, uint64_t n)
@@ -216,8 +229,13 @@ uint64_t acf_access_many(acf_state *st, const uint64_t *keys, uint64_t n)
 }
 """
 
-_FULL_CDEF = _CDEF + _walk_src.WALK_CDEF
-_FULL_CSOURCE = _CSOURCE + _walk_src.WALK_SOURCE
+# The batch kernels join the same translation unit right after the
+# filter source (they call its static helpers); the cache tag hashes
+# the concatenation, so any edit to either lands in a fresh build dir.
+_FULL_CDEF = _CDEF + _filter_batch_src.BATCH_CDEF + _walk_src.WALK_CDEF
+_FULL_CSOURCE = (
+    _CSOURCE + _filter_batch_src.BATCH_SOURCE + _walk_src.WALK_SOURCE
+)
 
 _MODULE_NAME = "_repro_engine_c"
 
@@ -387,12 +405,19 @@ class CFilterState:
 
 
 def install(flt) -> bool:
-    """Route all of ``flt``'s accesses through the C kernel.
+    """Route all of ``flt``'s accesses through the C kernels.
 
     Copies the current table into C arrays and rebinds ``access`` /
-    ``access_many`` on the *instance*; returns False (leaving the
-    filter untouched) when the filter is ineligible (instrumented,
-    wide fingerprints) or the extension cannot be built.  Idempotent.
+    ``access_many`` plus the storage-mode surface (``insert`` /
+    ``query`` / ``delete``, their ``*_many`` batch forms, and
+    ``contains``) on the *instance*; returns False (leaving the filter
+    untouched) when the filter is ineligible (instrumented, wide
+    fingerprints) or the extension cannot be built.  Idempotent.
+
+    Batch calls cross the boundary once per ``array('Q')`` buffer
+    (zero-copy via ``ffi.from_buffer``); counters sync back per the
+    contract in the module docstring (insert-side counters on fresh
+    insertions, ``valid_count`` on deletions, nothing on queries).
     """
     if getattr(flt, "_c_state", None) is not None:
         return True
@@ -412,7 +437,30 @@ def install(flt) -> bool:
     st = state.st
     c_access = lib.acf_access
     c_access_many = lib.acf_access_many
+    c_insert = lib.acf_insert
+    c_query = lib.acf_query
+    c_delete = lib.acf_delete
+    c_insert_many = lib.acf_insert_many
+    c_query_many = lib.acf_query_many
+    c_delete_many = lib.acf_delete_many
     u64_new = ffi.new
+    from_buffer = ffi.from_buffer
+
+    def _key_buffer(keys):
+        """(buffer, n) over a key batch — zero-copy for ``array('Q')``
+        (the storage workloads' native container: cffi views the
+        existing bytes), one list copy for any other iterable."""
+        if isinstance(keys, array) and keys.typecode == "Q":
+            return from_buffer("uint64_t[]", keys), len(keys)
+        key_list = [k & _U64 for k in keys]
+        return u64_new("uint64_t[]", key_list), len(key_list)
+
+    def _sync_insert_counters(_st=st, _flt=flt):
+        # Everything a fresh insertion can move; queries move nothing.
+        _flt.valid_count = _st.valid_count
+        _flt.autonomic_deletions = _st.autonomic_deletions
+        _flt.total_relocations = _st.total_relocations
+        _flt._lcg = _st.lcg
 
     def access(key, _c=c_access, _st=st, _flt=flt, _u64=_U64):
         r = _c(_st, key & _u64)
@@ -420,28 +468,61 @@ def install(flt) -> bool:
         if r == 0:
             # A Response of 0 is exactly a fresh insertion — the only
             # event that moves the insert-side counters.
-            _flt.valid_count = _st.valid_count
-            _flt.autonomic_deletions = _st.autonomic_deletions
-            _flt.total_relocations = _st.total_relocations
-            _flt._lcg = _st.lcg
+            _sync_insert_counters()
         return r
 
-    def access_many(keys, _c=c_access_many, _st=st, _flt=flt, _u64=_U64):
-        key_list = [k & _u64 for k in keys]
-        buf = u64_new("uint64_t[]", key_list)
-        captures = _c(_st, buf, len(key_list))
-        _flt.total_accesses += len(key_list)
-        _flt.valid_count = _st.valid_count
-        _flt.autonomic_deletions = _st.autonomic_deletions
-        _flt.total_relocations = _st.total_relocations
-        _flt._lcg = _st.lcg
+    def access_many(keys, _c=c_access_many, _st=st, _flt=flt):
+        buf, n = _key_buffer(keys)
+        captures = _c(_st, buf, n)
+        _flt.total_accesses += n
+        _sync_insert_counters()
         return captures
+
+    def insert(key, _c=c_insert, _st=st, _u64=_U64):
+        r = _c(_st, key & _u64)
+        if r:
+            _sync_insert_counters()
+        return bool(r)
+
+    def insert_many(keys, _c=c_insert_many, _st=st):
+        buf, n = _key_buffer(keys)
+        fresh = _c(_st, buf, n)
+        _sync_insert_counters()
+        return fresh
+
+    def query(key, _c=c_query, _st=st, _u64=_U64):
+        return bool(_c(_st, key & _u64))
+
+    def query_many(keys, _c=c_query_many, _st=st):
+        buf, n = _key_buffer(keys)
+        return _c(_st, buf, n)
+
+    def delete(key, _c=c_delete, _st=st, _flt=flt, _u64=_U64):
+        r = _c(_st, key & _u64)
+        if r:
+            _flt.valid_count = _st.valid_count
+        return bool(r)
+
+    def delete_many(keys, _c=c_delete_many, _st=st, _flt=flt):
+        buf, n = _key_buffer(keys)
+        removed = _c(_st, buf, n)
+        _flt.valid_count = _st.valid_count
+        return removed
 
     flt._c_state = state
     flt.access = access
     flt.access_many = access_many
+    flt.insert = insert
+    flt.insert_many = insert_many
+    flt.query = query
+    flt.query_many = query_many
+    flt.delete = delete
+    flt.delete_many = delete_many
+    # ``contains`` is exactly the storage query: serve it from C
+    # directly (read-only, no sync needed).
+    flt.contains = query
     # Hit-path reads that consult the Python rows must resync first.
-    for name in ("contains", "security_of", "entries", "bucket"):
+    for name in ("security_of", "entries", "bucket"):
         bound = getattr(flt, name)
 
         def synced(*args, _bound=bound, _flt=flt, **kwargs):

@@ -48,12 +48,14 @@ from repro.experiments import (
     fig8_performance,
     fig9_flush_attacks,
     fig10_detection,
+    fig_lsm,
     overhead_table,
     secthr_sensitivity,
 )
 
 EXPERIMENTS = {
     "campaign": campaign,
+    "lsm": fig_lsm,
     "fig3": fig3_occupancy,
     "fig4": fig4_collisions,
     "fig6": fig6_attack,
@@ -108,12 +110,14 @@ def scenario_matrix_text() -> str:
         )
         families: dict[str, set[str]] = {}
     else:
-        # Detection scenarios are detector × response pairings, not
-        # attack × defence cells — they get their own block below.
+        # Detection scenarios are detector × response pairings and
+        # storage scenarios are filter workloads, not attack × defence
+        # cells — each gets its own block below.
         detection_names = set(getattr(module, "DETECTION_SCENARIOS", ()))
+        storage_names = set(getattr(module, "STORAGE_SCENARIOS", ()))
         families = {}
         for name in sorted(module.SCENARIOS):
-            if name in detection_names:
+            if name in detection_names or name in storage_names:
                 continue
             family, _, defence = name.rpartition("__")
             families.setdefault(family, set()).add(defence)
@@ -136,6 +140,12 @@ def scenario_matrix_text() -> str:
                 "monitor defences):"
             )
             lines.extend(f"  {name}" for name in sorted(detection_names))
+        if storage_names:
+            lines.append(
+                "storage scenarios (standalone-filter LSM workloads, "
+                "run with the 'lsm' experiment):"
+            )
+            lines.extend(f"  {name}" for name in sorted(storage_names))
         lines.append(
             f"{len(module.SCENARIOS)} pinned scenarios; replay with "
             "`python tests/conformance/regenerate.py --check`"
@@ -199,6 +209,11 @@ def main(argv: list[str] | None = None) -> int:
              "(default 0.25)",
     )
     parser.add_argument(
+        "--keys", type=int, default=None, metavar="N",
+        help="distinct resident keys per cell for the lsm experiment "
+             "(default 200000, or 10000000 under --full)",
+    )
+    parser.add_argument(
         "--chunk-size", type=int, default=None, metavar="N",
         help="streaming chunk size: cells per checkpoint shard in "
              "streaming sweeps (default 512)",
@@ -253,6 +268,8 @@ def main(argv: list[str] | None = None) -> int:
         0.0 <= args.attack_fraction <= 1.0
     ):
         parser.error("--attack-fraction must be in [0, 1]")
+    if args.keys is not None and args.keys < 1:
+        parser.error("--keys must be >= 1")
     if args.chunk_size is not None and args.chunk_size < 1:
         parser.error("--chunk-size must be >= 1")
     if args.cell_timeout is not None:
@@ -298,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
             ("tenants", args.tenants),
             ("attack_fraction", args.attack_fraction),
             ("chunk_size", args.chunk_size),
+            ("keys", args.keys),
         ):
             if value is not None and name_ in accepted:
                 kwargs[name_] = value

@@ -1,4 +1,5 @@
-"""Cuckoo-filter family.
+"""Cuckoo-filter family — the paper's data structure as a standalone,
+importable package.
 
 ``CuckooFilter``     — the classic software filter of Fan et al.
                        (CoNEXT'14): insertions fail once a relocation
@@ -10,14 +11,31 @@
                        carried fingerprint is *autonomically deleted*,
                        and each entry carries a saturating ``Security``
                        re-access counter used for Ping-Pong detection.
+
+Storage-mode surface (standalone library use, LSM-style):
+
+* ``AutoCuckooFilter.from_fpp(item_num, fpp)`` sizes the (l, b, f)
+  geometry from a target false-positive rate;
+* ``insert`` / ``query`` / ``delete`` and their ``*_many`` batch forms
+  are the classic filter operations over the same table (batched C
+  kernels under ``REPRO_ENGINE=c`` via ``engine_batch()``);
+* ``to_bytes()`` / ``from_bytes()`` round-trip the complete state
+  across processes (versioned header, RNG lockstep preserved);
+* ``fpp_report`` measures the realized rate against the target.
 """
 
-from repro.filters.auto_cuckoo import AutoCuckooFilter
+from repro.filters.auto_cuckoo import (
+    DEFAULT_STORAGE_MAX_KICKS,
+    AutoCuckooFilter,
+    FilterGeometry,
+)
 from repro.filters.cuckoo import CuckooFilter
 from repro.filters.hashing import PartialKeyHasher
 from repro.filters.metrics import (
     CollisionCensus,
+    FppReport,
     collision_census,
+    fpp_report,
     measure_false_positive_rate,
     occupancy_curve,
     theoretical_false_positive_rate,
@@ -27,8 +45,12 @@ __all__ = [
     "AutoCuckooFilter",
     "CollisionCensus",
     "CuckooFilter",
+    "DEFAULT_STORAGE_MAX_KICKS",
+    "FilterGeometry",
+    "FppReport",
     "PartialKeyHasher",
     "collision_census",
+    "fpp_report",
     "measure_false_positive_rate",
     "occupancy_curve",
     "theoretical_false_positive_rate",

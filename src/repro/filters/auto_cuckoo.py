@@ -13,8 +13,11 @@ relocation is silently evicted instead.  Consequences reproduced here:
 * the eventually-evicted record is the endpoint of a random kick walk,
   so an adversary cannot deterministically evict a chosen record
   (Section VI-B, Fig. 7);
-* there is **no delete operation** — the classic filter's false-deletion
-  attack surface does not exist.
+* the *monitor protocol* has **no delete operation** — the classic
+  filter's false-deletion attack surface does not exist on the
+  security path.  (The standalone storage-mode API below does expose
+  :meth:`AutoCuckooFilter.delete` for LSM-style workloads, with the
+  classic caveat documented there; the monitor never calls it.)
 
 **Security counters** (Section IV, Table I).  Each entry carries a
 saturating ``Security`` counter counting re-accesses (``reAccess``).
@@ -38,6 +41,10 @@ a *specific address's* record survives (``holds_address``), which
 
 from __future__ import annotations
 
+import math
+import struct
+import sys
+from array import array
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -60,6 +67,21 @@ DEFAULT_SECURITY_THRESHOLD = 3
 
 #: Width of the hardware Security counter (Section VII-D: 2 bits).
 SECURITY_COUNTER_BITS = 2
+
+#: Relocation budget :meth:`AutoCuckooFilter.from_fpp` defaults to.
+#: The hardware monitor wants MNK tiny (Table II picks 4) because
+#: autonomic deletions are its feature; a storage-mode filter loaded
+#: to 0.84/0.95 of capacity wants the opposite — autonomic deletions
+#: there are silent false negatives — so the budget matches classic
+#: cuckoo-filter practice (the LSMTreeCuckoo reference uses 500).
+DEFAULT_STORAGE_MAX_KICKS = 500
+
+#: Serialization framing for :meth:`AutoCuckooFilter.to_bytes`.
+_SERIAL_MAGIC = b"RACF"
+_SERIAL_VERSION = 1
+#: magic, version, flags, l, b, f, MNK, secThr, seed, lcg,
+#: valid_count, autonomic_deletions, total_accesses, total_relocations
+_SERIAL_HEADER = struct.Struct("<4sHHIIIIIQQQQQQ")
 
 
 @dataclass(frozen=True)
@@ -212,6 +234,73 @@ class AutoCuckooFilter:
         self._hash_memo: dict[int, int] = {}
 
     # ------------------------------------------------------------------
+    # fpp-driven sizing (storage mode)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_fpp(
+        cls,
+        item_num: int,
+        fpp: float,
+        *,
+        max_kicks: int = DEFAULT_STORAGE_MAX_KICKS,
+        security_threshold: int = DEFAULT_SECURITY_THRESHOLD,
+        seed: int = 0,
+        instrument: bool = False,
+    ) -> "AutoCuckooFilter":
+        """Size a filter for ``item_num`` keys at a target false-positive
+        rate, LSMTreeCuckoo-style, adapted to this filter's power-of-two
+        geometry.
+
+        The classic sizing rule: a loose target (fpp >= 0.2%) takes
+        2-entry buckets at a 0.84 load budget, a tight one 4-entry
+        buckets at 0.95 (bigger buckets tolerate higher load before
+        inserts thrash, at the price of one extra fingerprint of
+        collision surface per probe).  The fingerprint width then comes
+        from the standard bound eps ~= 2b / 2**f, i.e.
+        ``f = ceil(log2(2 b / fpp))`` — which guarantees the *analytic*
+        rate ``1 - (1 - 2**-f)**(2b)`` is at or under target.  The
+        bucket count is the next power of two covering
+        ``item_num / load`` slots (the ``_alt_xor``/mask geometry
+        requires a power of two), so real occupancy at ``item_num``
+        keys lands at or below the load budget.
+
+        Tight targets legitimately derive f > 16 — e.g. fpp = 1e-4
+        gives f = 17 — where the ``_alt_xor`` table is not built and
+        every path takes the inline-splitmix fallback (and the C/
+        specialized engines decline the filter; the batch seam then
+        quietly serves the reference implementation).
+        """
+        if item_num < 1:
+            raise ValueError("item_num must be >= 1")
+        if not 0.0 < fpp < 1.0:
+            raise ValueError("fpp must be in (0, 1)")
+        if fpp >= 0.002:
+            entries_per_bucket, load = 2, 0.84
+        else:
+            entries_per_bucket, load = 4, 0.95
+        fingerprint_bits = max(
+            1, math.ceil(math.log2(2 * entries_per_bucket / fpp))
+        )
+        if fingerprint_bits > 32:
+            raise ValueError(
+                f"target fpp={fpp!r} needs {fingerprint_bits}-bit "
+                "fingerprints; the hasher supports at most 32"
+            )
+        slots = math.ceil(item_num / load)
+        needed_buckets = -(-slots // entries_per_bucket)  # ceil div
+        num_buckets = 1 << (needed_buckets - 1).bit_length()
+        return cls(
+            num_buckets=num_buckets,
+            entries_per_bucket=entries_per_bucket,
+            fingerprint_bits=fingerprint_bits,
+            max_kicks=max_kicks,
+            security_threshold=security_threshold,
+            seed=seed,
+            instrument=instrument,
+        )
+
+    # ------------------------------------------------------------------
     # The Query/Response protocol (Section IV)
     # ------------------------------------------------------------------
 
@@ -360,6 +449,188 @@ class AutoCuckooFilter:
         return None
 
     # ------------------------------------------------------------------
+    # Storage-mode operations (standalone library API)
+    # ------------------------------------------------------------------
+    # These are NOT part of the paper's Query/Response protocol — the
+    # monitor never calls them.  They are the classic cuckoo-filter
+    # surface an LSM-style consumer wants (insert-if-absent, read-only
+    # membership, delete), sharing the table, hash chain, and kick walk
+    # with the protocol ops so one filter serves both roles.  Under
+    # REPRO_ENGINE=c the install rebinds every one of them to the
+    # batched C kernels; these bodies are the bit-exact reference.
+
+    def insert(self, key: int) -> bool:
+        """Insert ``key`` if no matching fingerprint is present.
+
+        Returns True when a fresh record was placed (never fails —
+        a saturated table autonomically deletes, like ``access``).
+        Returns False when the fingerprint was already resident, which
+        means *either* ``key`` or a colliding address is represented.
+        Does not touch Security counters or ``total_accesses``.
+        """
+        table = self._alt_xor
+        if table is None:
+            fp, i1, i2 = self._candidate_buckets(key)
+        else:
+            fp_mask = self.hasher._fp_mask
+            z = (key + self._fp_add) & _U64
+            z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+            z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+            fp = (z ^ (z >> 31)) & fp_mask
+            if not fp:
+                fp = fp_mask
+            z = (key + self._index_add) & _U64
+            z = ((z ^ (z >> 30)) * _MIX_MULT_1) & _U64
+            z = ((z ^ (z >> 27)) * _MIX_MULT_2) & _U64
+            i1 = (z ^ (z >> 31)) & self._index_mask
+            i2 = i1 ^ table[fp]
+        fps = self._fps
+        if fp in fps[i1] or fp in fps[i2]:
+            return False
+        self._insert_new(key, fp, i1, i2)
+        return True
+
+    def query(self, key: int) -> bool:
+        """Read-only membership: :meth:`contains` under its storage-mode
+        name (the batched C install rebinds both to one kernel)."""
+        fp, i1, i2 = self._candidate_buckets(key)
+        return fp in self._fps[i1] or fp in self._fps[i2]
+
+    def delete(self, key: int) -> bool:
+        """Remove one record matching ``key``'s fingerprint.
+
+        Scans the primary bucket's slots in order, then the alternate;
+        the first matching slot is cleared (fingerprint, Security, and
+        the shadow address set when instrumented).  Returns True when a
+        record was removed.  Classic-filter caveat applies: a colliding
+        address's record is indistinguishable and may be the one
+        deleted — which is exactly the false-deletion surface the paper
+        removes from the *monitor* protocol (Section V-A).
+        """
+        fp, i1, i2 = self._candidate_buckets(key)
+        for index in (i1, i2):
+            row = self._fps[index]
+            if fp in row:
+                slot = row.index(fp)
+                row[slot] = 0
+                self._security[index][slot] = 0
+                if self._addresses is not None:
+                    self._addresses[index][slot] = None
+                self.valid_count -= 1
+                return True
+        return False
+
+    def insert_many(self, keys) -> int:
+        """:meth:`insert` for every key; returns the fresh-insert count.
+
+        State-identical to the scalar loop (the equivalence suites pin
+        this); the LSM compaction rebuild is this call on an
+        ``array('Q')`` run of resident keys.
+        """
+        table = self._alt_xor
+        if table is None:
+            insert = self.insert
+            return sum(1 for key in keys if insert(key))
+        fps = self._fps
+        fp_mask = self.hasher._fp_mask
+        index_mask = self._index_mask
+        fp_add = self._fp_add
+        index_add = self._index_add
+        insert_new = self._insert_new
+        mult1 = _MIX_MULT_1
+        mult2 = _MIX_MULT_2
+        u64 = _U64
+        fresh = 0
+        for key in keys:
+            z = (key + fp_add) & u64
+            z = ((z ^ (z >> 30)) * mult1) & u64
+            z = ((z ^ (z >> 27)) * mult2) & u64
+            fp = (z ^ (z >> 31)) & fp_mask
+            if not fp:
+                fp = fp_mask
+            z = (key + index_add) & u64
+            z = ((z ^ (z >> 30)) * mult1) & u64
+            z = ((z ^ (z >> 27)) * mult2) & u64
+            i1 = (z ^ (z >> 31)) & index_mask
+            i2 = i1 ^ table[fp]
+            if fp in fps[i1] or fp in fps[i2]:
+                continue
+            insert_new(key, fp, i1, i2)
+            fresh += 1
+        return fresh
+
+    def query_many(self, keys) -> int:
+        """:meth:`query` for every key; returns the maybe-present count."""
+        table = self._alt_xor
+        if table is None:
+            query = self.query
+            return sum(1 for key in keys if query(key))
+        fps = self._fps
+        fp_mask = self.hasher._fp_mask
+        index_mask = self._index_mask
+        fp_add = self._fp_add
+        index_add = self._index_add
+        mult1 = _MIX_MULT_1
+        mult2 = _MIX_MULT_2
+        u64 = _U64
+        present = 0
+        for key in keys:
+            z = (key + fp_add) & u64
+            z = ((z ^ (z >> 30)) * mult1) & u64
+            z = ((z ^ (z >> 27)) * mult2) & u64
+            fp = (z ^ (z >> 31)) & fp_mask
+            if not fp:
+                fp = fp_mask
+            z = (key + index_add) & u64
+            z = ((z ^ (z >> 30)) * mult1) & u64
+            z = ((z ^ (z >> 27)) * mult2) & u64
+            i1 = (z ^ (z >> 31)) & index_mask
+            if fp in fps[i1] or fp in fps[i1 ^ table[fp]]:
+                present += 1
+        return present
+
+    def delete_many(self, keys) -> int:
+        """:meth:`delete` for every key; returns the removed count."""
+        table = self._alt_xor
+        if table is None:
+            delete = self.delete
+            return sum(1 for key in keys if delete(key))
+        fps = self._fps
+        security = self._security
+        addresses = self._addresses
+        fp_mask = self.hasher._fp_mask
+        index_mask = self._index_mask
+        fp_add = self._fp_add
+        index_add = self._index_add
+        mult1 = _MIX_MULT_1
+        mult2 = _MIX_MULT_2
+        u64 = _U64
+        removed = 0
+        for key in keys:
+            z = (key + fp_add) & u64
+            z = ((z ^ (z >> 30)) * mult1) & u64
+            z = ((z ^ (z >> 27)) * mult2) & u64
+            fp = (z ^ (z >> 31)) & fp_mask
+            if not fp:
+                fp = fp_mask
+            z = (key + index_add) & u64
+            z = ((z ^ (z >> 30)) * mult1) & u64
+            z = ((z ^ (z >> 27)) * mult2) & u64
+            i1 = (z ^ (z >> 31)) & index_mask
+            for index in (i1, i1 ^ table[fp]):
+                row = fps[index]
+                if fp in row:
+                    slot = row.index(fp)
+                    row[slot] = 0
+                    security[index][slot] = 0
+                    if addresses is not None:
+                        addresses[index][slot] = None
+                    removed += 1
+                    break
+        self.valid_count -= removed
+        return removed
+
+    # ------------------------------------------------------------------
     # Insertion with autonomic deletion (Section V-A)
     # ------------------------------------------------------------------
 
@@ -467,6 +738,22 @@ class AutoCuckooFilter:
 
         return filter_access(self)
 
+    def engine_batch(self):
+        """The batched entry points under the selected engine.
+
+        Returns an object exposing ``access_many`` / ``insert_many`` /
+        ``query_many`` / ``delete_many`` (plus the scalar storage ops):
+        under ``c`` that is this filter itself with the C batch kernels
+        installed (one boundary crossing per batch); under
+        ``specialized`` a thin view that drives ``access_many`` through
+        the per-key specialized kernel; otherwise the filter's own
+        reference implementations.  All three are bit-identical over
+        the table state.
+        """
+        from repro.engine import filter_batch
+
+        return filter_batch(self)
+
     def use_c_backend(self) -> bool:
         """Route this filter's accesses through the compiled C kernel.
 
@@ -508,6 +795,114 @@ class AutoCuckooFilter:
             "fps": [list(row) for row in self._fps],
             "security": [list(row) for row in self._security],
         }
+
+    # ------------------------------------------------------------------
+    # Serialization (canonical, cross-process)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte serialization of the complete filter state.
+
+        Layout (all little-endian): a versioned fixed header — magic
+        ``RACF``, format version, flags, the (l, b, f, MNK, secThr)
+        geometry, the hasher seed, the kick-walk LCG state, and the
+        four counters — followed by the fingerprint rows as uint32 and
+        the Security rows as uint8, row-major.  ``from_bytes`` of the
+        result is state-identical *including* the LCG, so a restored
+        filter's kick walks stay in RNG lockstep with the original
+        (campaign workers ship filters through checkpoints on this).
+
+        Instrumented filters are refused: shadow address sets are
+        measurement scaffolding with no canonical wire form.
+        """
+        if self.instrumented:
+            raise ValueError(
+                "instrumented filters carry shadow address sets and "
+                "have no canonical serialization"
+            )
+        seed = self.hasher._seed
+        if not 0 <= seed <= _U64:
+            raise ValueError("only uint64 hasher seeds serialize")
+        if not 0 <= self.max_kicks < (1 << 32):
+            raise ValueError("max_kicks out of uint32 range")
+        self._sync_rows_from_c()
+        header = _SERIAL_HEADER.pack(
+            _SERIAL_MAGIC,
+            _SERIAL_VERSION,
+            0,
+            self.num_buckets,
+            self.entries_per_bucket,
+            self.hasher.fingerprint_bits,
+            self.max_kicks,
+            self.security_threshold,
+            seed,
+            self._lcg,
+            self.valid_count,
+            self.autonomic_deletions,
+            self.total_accesses,
+            self.total_relocations,
+        )
+        fps = array("I", [fp for row in self._fps for fp in row])
+        sec = array("B", [s for row in self._security for s in row])
+        if sys.byteorder == "big":
+            fps.byteswap()
+        return header + fps.tobytes() + sec.tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AutoCuckooFilter":
+        """Rebuild a filter from :meth:`to_bytes` output.
+
+        The stored seed regenerates the hasher salts and ``_alt_xor``
+        table; rows, counters, and the LCG are restored verbatim, so
+        the result is state-identical to the serialized filter and
+        every subsequent operation (including kick walks) replays
+        bit-exactly.  Works across processes and machines of either
+        byte order.
+        """
+        header_size = _SERIAL_HEADER.size
+        if len(data) < header_size:
+            raise ValueError("truncated AutoCuckooFilter serialization")
+        (
+            magic, version, _flags, num_buckets, entries_per_bucket,
+            fingerprint_bits, max_kicks, security_threshold, seed, lcg,
+            valid_count, autonomic_deletions, total_accesses,
+            total_relocations,
+        ) = _SERIAL_HEADER.unpack_from(data)
+        if magic != _SERIAL_MAGIC:
+            raise ValueError("not an AutoCuckooFilter serialization")
+        if version != _SERIAL_VERSION:
+            raise ValueError(
+                f"unsupported serialization version {version}"
+            )
+        entry_count = num_buckets * entries_per_bucket
+        expected = header_size + entry_count * 5
+        if len(data) != expected:
+            raise ValueError(
+                f"serialization length {len(data)} != expected {expected}"
+            )
+        flt = cls(
+            num_buckets=num_buckets,
+            entries_per_bucket=entries_per_bucket,
+            fingerprint_bits=fingerprint_bits,
+            max_kicks=max_kicks,
+            security_threshold=security_threshold,
+            seed=seed,
+        )
+        fps = array("I")
+        fps.frombytes(data[header_size:header_size + entry_count * 4])
+        if sys.byteorder == "big":
+            fps.byteswap()
+        sec = data[header_size + entry_count * 4:]
+        b = entries_per_bucket
+        for index in range(num_buckets):
+            flt._fps[index][:] = fps[index * b:(index + 1) * b].tolist()
+            flt._security[index][:] = list(sec[index * b:(index + 1) * b])
+        flt.valid_count = valid_count
+        flt.autonomic_deletions = autonomic_deletions
+        flt.total_accesses = total_accesses
+        flt.total_relocations = total_relocations
+        flt._lcg = lcg
+        return flt
 
     # ------------------------------------------------------------------
     # Introspection / instrumentation

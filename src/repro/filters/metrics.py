@@ -9,14 +9,21 @@
 ``measure_false_positive_rate`` — empirical ε from random non-member
                         queries, to compare against the analytic bound
                         ε ≈ 2b / 2**f (Section V-B).
+``fpp_report``        — measured-vs-target report for the storage-mode
+                        ``AutoCuckooFilter.from_fpp`` sizing: loads a
+                        derived filter to its design point and probes a
+                        disjoint key space, so every positive is a
+                        false positive by construction.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from repro.filters.auto_cuckoo import AutoCuckooFilter
-from repro.utils.rng import derive_rng
+from repro.utils.bitops import mix64
+from repro.utils.rng import derive_rng, derive_seed
 
 #: Address space the paper samples from ("randomly pick addresses from
 #: memory address space"): 64 GiB of physical memory in 64-byte lines.
@@ -130,3 +137,99 @@ def measure_false_positive_rate(
         if fltr.contains(key):  # type: ignore[attr-defined]
             hits += 1
     return hits / probes
+
+
+_HALF_MASK = (1 << 63) - 1
+
+
+@dataclass(frozen=True)
+class FppReport:
+    """Measured-vs-target false-positive report for a sized filter."""
+
+    item_num: int
+    target_fpp: float
+    analytic_fpp: float
+    measured_fpp: float
+    probes: int
+    false_positives: int
+    num_buckets: int
+    entries_per_bucket: int
+    fingerprint_bits: int
+    occupancy: float
+    fresh_inserts: int
+    autonomic_deletions: int
+
+    def meets_target(self, slack: float = 3.0) -> bool:
+        """Measured rate within statistical slack of target.
+
+        The analytic rate is guaranteed <= target by construction; the
+        measurement is a binomial sample around it, so the acceptance
+        band is ``slack * target`` plus a small-count allowance (at
+        tight targets a finite probe budget may see a handful of hits
+        even when the true rate is well under target).
+        """
+        return self.false_positives <= self.probes * self.target_fpp * slack + 8
+
+    def to_text(self) -> str:
+        return (
+            f"from_fpp(item_num={self.item_num}, fpp={self.target_fpp:g}) -> "
+            f"l={self.num_buckets} b={self.entries_per_bucket} "
+            f"f={self.fingerprint_bits} | load {self.occupancy:.3f} | "
+            f"analytic {self.analytic_fpp:.3g} | measured "
+            f"{self.measured_fpp:.3g} ({self.false_positives}/{self.probes}) | "
+            f"autonomic deletions {self.autonomic_deletions}"
+        )
+
+
+def fpp_report(
+    item_num: int,
+    fpp: float,
+    seed: int = 0,
+    probes: int = 100_000,
+) -> FppReport:
+    """Size a filter with :meth:`AutoCuckooFilter.from_fpp`, load it to
+    its design point, and measure the realized false-positive rate.
+
+    Resident keys live in the even half of the uint64 key space and
+    probe keys in the odd half (both scattered through ``mix64``), so a
+    probe can never be a resident key and every filter positive on the
+    probe stream is a false positive by construction — no ground-truth
+    membership set is needed at any scale.  Runs through the engine
+    batch seam, so the measurement reflects whichever engine
+    ``REPRO_ENGINE`` selects (the result is engine-independent; the
+    equivalence suites pin that).
+    """
+    if probes < 1:
+        raise ValueError("probes must be >= 1")
+    flt = AutoCuckooFilter.from_fpp(
+        item_num, fpp, seed=derive_seed(seed, "fpp-report-filter")
+    )
+    batch = flt.engine_batch()
+    resident_salt = derive_seed(seed, "fpp-report-resident")
+    probe_salt = derive_seed(seed, "fpp-report-probes")
+    resident = array("Q", (
+        (mix64(i, salt=resident_salt) & _HALF_MASK) << 1
+        for i in range(item_num)
+    ))
+    fresh = batch.insert_many(resident)
+    probe_keys = array("Q", (
+        ((mix64(i, salt=probe_salt) & _HALF_MASK) << 1) | 1
+        for i in range(probes)
+    ))
+    false_positives = batch.query_many(probe_keys)
+    return FppReport(
+        item_num=item_num,
+        target_fpp=fpp,
+        analytic_fpp=theoretical_false_positive_rate(
+            flt.entries_per_bucket, flt.hasher.fingerprint_bits
+        ),
+        measured_fpp=false_positives / probes,
+        probes=probes,
+        false_positives=false_positives,
+        num_buckets=flt.num_buckets,
+        entries_per_bucket=flt.entries_per_bucket,
+        fingerprint_bits=flt.hasher.fingerprint_bits,
+        occupancy=flt.occupancy(),
+        fresh_inserts=fresh,
+        autonomic_deletions=flt.autonomic_deletions,
+    )

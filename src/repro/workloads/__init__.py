@@ -16,6 +16,13 @@ from repro.workloads.base import (
     core_data_base,
     core_code_base,
 )
+from repro.workloads.lsm import (
+    LSMFilterTree,
+    ZipfRanks,
+    filter_state_digest,
+    probe_key,
+    resident_key,
+)
 from repro.workloads.mixes import TABLE_III_MIXES, mix_names, mix_workloads
 from repro.workloads.spec import (
     BENCHMARK_PROFILES,
@@ -36,6 +43,7 @@ __all__ = [
     "BENCHMARK_PROFILES",
     "BenchmarkProfile",
     "HotColdWorkload",
+    "LSMFilterTree",
     "PointerChaseWorkload",
     "RandomWorkload",
     "ScriptedWorkload",
@@ -45,13 +53,17 @@ __all__ = [
     "TABLE_III_MIXES",
     "TraceRecord",
     "Workload",
+    "ZipfRanks",
     "compute_gap",
+    "filter_state_digest",
     "core_code_base",
     "core_data_base",
     "mix_names",
     "mix_workloads",
+    "probe_key",
     "read_trace_csv",
     "record_trace",
+    "resident_key",
     "spec_workload",
     "write_trace_csv",
 ]

@@ -243,6 +243,62 @@ DETECTION_SCENARIOS = {
 }
 
 
+# ----------------------------------------------------------------------
+# Storage scenarios (the standalone-filter subsystem).
+#
+# Each pins one small LSM filter-tree workload end to end: from_fpp
+# sizing, batched insert/query/delete through the engine batch seam,
+# compaction rebuilds, the zipf stream, and the serialized byte format
+# (to_bytes digests) — the cross-engine gate for the batched C kernels
+# exactly as the attack scenarios are for acf_access.
+# ----------------------------------------------------------------------
+
+def storage_lsm(fpp: float):
+    """A seconds-small LSM filter-tree run at one fpp target.
+
+    ``fpp=1e-4`` derives f = 17 fingerprints, pinning the
+    wide-fingerprint inline-splitmix path (which the C backend refuses,
+    so that scenario also gates the quiet fallback)."""
+    import hashlib
+    from array import array
+
+    from repro.utils.rng import derive_seed
+    from repro.workloads.lsm import LSMFilterTree, ZipfRanks, resident_key
+
+    tree = LSMFilterTree(
+        memtable_size=512, fanout=4, levels=3, fpp=fpp, seed=SEED
+    )
+    salt = derive_seed(SEED, "storage-keys")
+    tree.put_many(array("Q", (resident_key(i, salt) for i in range(6000))))
+    tree.flush_pending()
+    gets = ZipfRanks(theta=0.8, seed=derive_seed(SEED, "storage-gets"))
+    get_counts = tree.get_many(array("Q", (
+        resident_key(r, salt) for r in gets.draw(2000, 6000)
+    )))
+    fp_counts = tree.false_positive_counts(4000)
+    dels = ZipfRanks(theta=0.8, seed=derive_seed(SEED, "storage-dels"))
+    removed = tree.delete_many(array("Q", (
+        resident_key(r, salt) for r in dels.draw(800, 6000)
+    )))
+    return canonical({
+        "stats": tree.stats(),
+        "filter_digests": tree.filter_digests(),
+        "get_counts": get_counts,
+        "fp_counts": fp_counts,
+        "removed": removed,
+        "serialized": [
+            hashlib.sha256(level.filter.to_bytes()).hexdigest()
+            for level in tree.levels
+        ],
+    })
+
+
+STORAGE_SCENARIOS = {
+    "lsm__small": lambda: storage_lsm(1e-2),
+    "lsm__wide_fp": lambda: storage_lsm(1e-4),
+}
+
+
 def _build_registry():
     scenarios = {}
     for defence in ("none", "pipo"):
@@ -259,6 +315,7 @@ def _build_registry():
     for defence in DEFENCES:
         scenarios[f"benign_mix1__{defence}"] = lambda d=defence: benign(d)
     scenarios.update(DETECTION_SCENARIOS)
+    scenarios.update(STORAGE_SCENARIOS)
     return scenarios
 
 

@@ -153,8 +153,25 @@ class TestFalseDeletion:
         assert result.searched == 10
         assert fltr.contains(42)
 
-    def test_auto_cuckoo_has_no_deletion_surface(self):
-        """The attack cannot even be expressed against the Auto-Cuckoo
-        filter: there is no delete operation."""
+    def test_auto_cuckoo_monitor_protocol_has_no_deletion_surface(self):
+        """The monitor protocol still cannot express the attack: the
+        only operation the Query/Response loop exposes is ``access``,
+        which never removes a record externally (evictions happen only
+        inside the autonomic kick walk).  The *storage-mode* surface
+        (``insert``/``query``/``delete``) is a separate deployment of
+        the same structure — a cache-side attacker in the paper's
+        threat model never holds a handle to it."""
         fltr = AutoCuckooFilter(num_buckets=16)
-        assert not hasattr(fltr, "delete")
+        fltr.access(123)
+        before = fltr.valid_count
+        # Repeated accesses saturate Security but never remove the
+        # record — there is no delete in the monitor loop.
+        for _ in range(64):
+            fltr.access(123)
+        assert fltr.valid_count == before
+        assert fltr.autonomic_deletions == 0
+        # The storage op exists, but only as an explicit API call —
+        # false_deletion_attack takes a CuckooFilter, and the monitor
+        # protocol has no message that reaches AutoCuckooFilter.delete.
+        assert fltr.delete(123)
+        assert fltr.valid_count == before - 1

@@ -35,7 +35,11 @@ def test_list_scenarios_flag_equivalent(capsys):
 def test_matrix_names_every_scenario_family(listing):
     scenarios = cli._load_conformance_scenarios()
     assert scenarios is not None
-    attack_names = set(scenarios.SCENARIOS) - set(scenarios.DETECTION_SCENARIOS)
+    attack_names = (
+        set(scenarios.SCENARIOS)
+        - set(scenarios.DETECTION_SCENARIOS)
+        - set(scenarios.STORAGE_SCENARIOS)
+    )
     for family in {name.rpartition("__")[0] for name in attack_names}:
         assert family in listing
     assert f"{len(scenarios.SCENARIOS)} pinned scenarios" in listing
@@ -50,6 +54,16 @@ def test_matrix_lists_detection_scenarios_as_pairings(listing):
         assert name in listing
     matrix_block = listing.split("detection scenarios")[0]
     assert "detect__" not in matrix_block
+
+
+def test_matrix_lists_storage_scenarios_in_their_own_block(listing):
+    """lsm__* names are standalone-filter workloads — their own block
+    after the detection pairings, never matrix rows."""
+    scenarios = cli._load_conformance_scenarios()
+    for name in scenarios.STORAGE_SCENARIOS:
+        assert name in listing
+    matrix_block = listing.split("detection scenarios")[0]
+    assert "lsm__" not in matrix_block
 
 
 def test_matrix_names_registries_and_experiments(listing):

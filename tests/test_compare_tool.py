@@ -93,3 +93,56 @@ def test_trajectory_entry_missing_benchmarks_errors(tmp_path, monkeypatch):
     monkeypatch.setattr(compare_mod, "TRAJECTORY_PATH", trajectory)
     with pytest.raises(SystemExit, match="no benchmarks section"):
         compare_mod.main(["cccc", "cccc", "--trajectory"])
+
+
+def test_trajectory_skips_non_hotpath_records(tmp_path, capsys, monkeypatch):
+    """A commit may also carry `lsm` sweep stamps (no benchmarks
+    section); the lookup must fall back to the latest hotpath record
+    instead of erroring on the sweep entry."""
+    trajectory = tmp_path / "BENCH_trajectory.json"
+    trajectory.write_text(json.dumps([
+        {"commit": "aaaa", "engine": "c",
+         "benchmarks": {"bench": {"ops_per_sec": 100.0}}},
+        {"commit": "aaaa", "engine": "c",
+         "lsm": {"keys_per_cell": 10_000_000}},
+    ]))
+    monkeypatch.setattr(compare_mod, "TRAJECTORY_PATH", trajectory)
+    assert compare_mod.main(["aaaa", "aaaa", "--trajectory"]) == 0
+    assert "bench" in capsys.readouterr().out
+
+
+def test_cell_groups_match_bench_hotpath():
+    """CELL_GROUPS must name exactly the cells bench_hotpath.py
+    defines — a renamed or added cell that is not grouped would
+    silently vanish from every --group diff."""
+    bench = (Path(__file__).resolve().parents[1]
+             / "benchmarks" / "bench_hotpath.py")
+    import re
+
+    defined = set(re.findall(r"^def (test_\w+)\(", bench.read_text(),
+                             flags=re.MULTILINE))
+    grouped = {name for cells in compare_mod.CELL_GROUPS.values()
+               for name in cells}
+    assert grouped == defined
+
+
+def test_group_flag_filters_the_diff(tmp_path, capsys):
+    base = _record(tmp_path / "a.json", {
+        "test_filter_batch_insert_cold": 100.0,
+        "test_access_l1_hit": 100.0,
+    })
+    cand = _record(tmp_path / "b.json", {
+        "test_filter_batch_insert_cold": 120.0,
+        "test_access_l1_hit": 10.0,  # out-of-group regression: ignored
+    })
+    assert compare_mod.main([base, cand, "--group", "filter_batch"]) == 0
+    out = capsys.readouterr().out
+    assert "test_filter_batch_insert_cold" in out
+    assert "test_access_l1_hit" not in out
+
+
+def test_group_with_no_shared_cells_errors(tmp_path):
+    base = _record(tmp_path / "a.json", {"test_access_l1_hit": 1.0})
+    cand = _record(tmp_path / "b.json", {"test_access_l1_hit": 1.0})
+    with pytest.raises(SystemExit, match="group 'filter_batch'"):
+        compare_mod.main([base, cand, "--group", "filter_batch"])

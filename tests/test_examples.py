@@ -43,7 +43,7 @@ class TestExamples:
     def test_reverse_attack_demo(self):
         out = run_example("reverse_attack_demo.py")
         assert "target record gone: True" in out
-        assert "hasattr(filter, 'delete') = False" in out
+        assert "monitor protocol: access-only" in out
 
     def test_all_examples_present(self):
         names = {p.name for p in EXAMPLES_DIR.glob("*.py")}

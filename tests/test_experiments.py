@@ -137,6 +137,7 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
             "secthr", "overhead", "baselines", "ablation", "campaign",
+            "lsm",
         }
 
     def test_cli_runs_overhead(self, capsys):

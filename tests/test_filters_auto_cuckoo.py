@@ -108,11 +108,20 @@ class TestAutonomicDeletion:
             fltr.access(key * 31)
         assert fltr.valid_count <= fltr.capacity
 
-    def test_no_delete_interface(self):
+    def test_monitor_protocol_never_deletes(self):
         """The Auto-Cuckoo filter closes the false-deletion attack
-        surface by having no delete operation at all."""
+        surface at the protocol level: the monitor loop speaks only
+        ``access``, which never removes a record — evictions happen
+        solely inside the autonomic kick walk.  (The storage-mode
+        ``delete`` added for standalone deployments is a distinct API
+        the monitor never calls; see the class docstring.)"""
         fltr = small_filter()
-        assert not hasattr(fltr, "delete")
+        fltr.access(1234)
+        before = fltr.valid_count
+        for _ in range(32):
+            fltr.access(1234)
+        assert fltr.valid_count == before
+        assert fltr.autonomic_deletions == 0
 
 
 class TestRelocationAccounting:

@@ -142,11 +142,21 @@ class TestClassicVersusAuto:
         assert auto.total_accesses == 100
         assert auto.occupancy() == 1.0
 
-    def test_auto_has_no_insert_or_delete_methods(self):
-        """The hardware protocol is access-only."""
+    def test_hardware_protocol_is_access_only(self):
+        """The hardware monitor speaks one message: ``access`` merges
+        into an existing record or inserts a fresh one, and nothing in
+        the protocol removes a record from outside.  (The storage-mode
+        ``insert``/``query``/``delete`` surface exists for standalone
+        deployments, but ``access`` never routes through it — the two
+        write paths stay behaviourally distinct.)"""
         auto = AutoCuckooFilter(num_buckets=4)
-        assert not hasattr(auto, "insert")
-        assert not hasattr(auto, "delete")
+        auto.access(55)
+        assert auto.valid_count == 1
+        # Re-access merges (no duplicate insert), never deletes.
+        for _ in range(16):
+            auto.access(55)
+        assert auto.valid_count == 1
+        assert auto.autonomic_deletions == 0
 
 
 class TestMergeSemantics:
