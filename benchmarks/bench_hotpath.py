@@ -235,6 +235,71 @@ def test_walk_evict_heavy_monitored(benchmark):
 
 
 # ----------------------------------------------------------------------
+# Telemetry overhead: the observability layer's zero/near-zero claims.
+# Same monitored evict-heavy stream as ``test_walk_evict_heavy_monitored``
+# (the worst case for counter traffic: fills, evictions, probes,
+# captures, and kick walks all on the measured path), run once with no
+# sink attached (must be *identical* work — detached kernels compile
+# byte-identical source) and once with a Telemetry sink attached at
+# kernel-build time (the <5% attached budget PERFORMANCE.md rule 18
+# documents).  Both go through the engine seam, so the c legs measure
+# the batched counter export instead of per-event callbacks.
+# ----------------------------------------------------------------------
+
+def _telemetry_mix_state(ops):
+    h = TABLE_II.build_hierarchy(seed=0)
+    monitor = PiPoMonitor(TABLE_II.filter.build(seed=1), EventQueue())
+    monitor.attach(h)
+    seq = [
+        (((i >> 3) % 64 if i & 7 == 7 else 64 + i) << 10) * 64
+        for i in range(ops)
+    ]
+    return h, seq
+
+
+def test_telemetry_detached(benchmark):
+    from repro.obs.telemetry import detach_telemetry
+
+    ops = N_OPS // 8
+
+    def setup():
+        detach_telemetry()  # belt-and-braces: measure the true baseline
+        return _telemetry_mix_state(ops)
+
+    def run(state):
+        h, seq = state
+        access = h.engine_access()
+        for a in seq:
+            access(0, OP_READ, a)
+
+    _bench_ops(benchmark, run, setup, ops)
+
+
+def test_telemetry_attached(benchmark):
+    from repro.obs.telemetry import Telemetry, attach_telemetry, detach_telemetry
+
+    ops = N_OPS // 8
+
+    def setup():
+        # Attach before the run binds its kernel: publish sites are
+        # resolved at build time, so the sink must be live here for
+        # the generated source to carry the counter increments.
+        attach_telemetry(Telemetry())
+        return _telemetry_mix_state(ops)
+
+    def run(state):
+        h, seq = state
+        access = h.engine_access()
+        for a in seq:
+            access(0, OP_READ, a)
+
+    try:
+        _bench_ops(benchmark, run, setup, ops)
+    finally:
+        detach_telemetry()
+
+
+# ----------------------------------------------------------------------
 # AutoCuckooFilter.access
 # ----------------------------------------------------------------------
 

@@ -65,7 +65,45 @@ CELL_GROUPS = {
         "test_campaign_throughput",
         "test_fig10_detection_cell",
     ),
+    "telemetry": (
+        "test_telemetry_detached",
+        "test_telemetry_attached",
+    ),
 }
+
+#: Host-provenance fields run_perf.sh stamps into each record; a diff
+#: across hosts is noise, so mismatches on any of these warn loudly.
+HOST_KEYS = ("cpu", "cores", "python", "compiler")
+
+
+def warn_cross_host(baseline: dict, candidate: dict) -> None:
+    """Print a loud warning when the two records came from visibly
+    different hosts (CPU model, core count, Python, or compiler).
+
+    Non-fatal by design: cross-host diffs are sometimes exactly what
+    is wanted (same commit on two machines), but an *unnoticed* host
+    change masquerades as a perf regression — rule 3 of PERFORMANCE.md
+    (never compare across machines) needs teeth in the tool.  Records
+    that predate the host stamp stay silent.
+    """
+    b_host = baseline.get("host") or {}
+    c_host = candidate.get("host") or {}
+    if not b_host or not c_host:
+        return
+    diffs = [
+        key for key in HOST_KEYS
+        if b_host.get(key) is not None
+        and c_host.get(key) is not None
+        and b_host.get(key) != c_host.get(key)
+    ]
+    if diffs:
+        print(
+            "WARNING: records came from different hosts "
+            f"({', '.join(f'{k}: {b_host[k]!r} vs {c_host[k]!r}' for k in diffs)}) "
+            "— every ratio below measures the machine as much as the "
+            "change",
+            file=sys.stderr,
+        )
 
 
 def load_record(source: str, trajectory: bool, engine: str | None = None) -> dict:
@@ -161,6 +199,7 @@ def compare(
         f"engines: baseline={b_eng or 'unknown'}  "
         f"candidate={c_eng or 'unknown'}"
     )
+    warn_cross_host(baseline, candidate)
     if b_eng and c_eng and b_eng != c_eng and not cross_engine:
         raise SystemExit(
             f"error: the records ran different engines ({b_eng} vs "

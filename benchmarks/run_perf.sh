@@ -52,6 +52,49 @@ raw_path, out_path, trajectory_path, git_sha, engine = sys.argv[1:6]
 with open(raw_path) as fh:
     raw = json.load(fh)
 
+
+def host_provenance():
+    # The host fingerprint compare.py checks before diffing two
+    # records: CPU model, core count, Python, and the C compiler the
+    # cffi engine would build with.  Best-effort per field — a host
+    # where /proc/cpuinfo or the compiler probe is unavailable still
+    # stamps the rest.
+    import platform
+    import shutil
+    import subprocess
+
+    cpu = None
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    if not cpu:
+        cpu = platform.processor() or platform.machine() or None
+    compiler = None
+    cc = shutil.which(os.environ.get("CC", "cc")) or shutil.which("gcc")
+    if cc:
+        try:
+            probe = subprocess.run(
+                [cc, "--version"], capture_output=True, text=True, timeout=10
+            )
+            if probe.returncode == 0 and probe.stdout:
+                compiler = probe.stdout.splitlines()[0].strip()
+        except (OSError, subprocess.SubprocessError):
+            pass
+    return {
+        "cpu": cpu,
+        "cores": os.cpu_count(),
+        "python": platform.python_version(),
+        "compiler": compiler,
+    }
+
+
+host = host_provenance()
+
 # Prefer the engine the benchmarks actually ran (recorded per-bench
 # after fallback resolution) over the shell's environment guess.
 measured = {
@@ -69,6 +112,7 @@ record = {
     "datetime": raw.get("datetime"),
     "commit": git_sha,
     "engine": engine,
+    "host": host,
     "benchmarks": {},
 }
 for bench in raw["benchmarks"]:
@@ -105,6 +149,7 @@ trajectory.append({
     "datetime": record["datetime"],
     "machine": record["machine"],
     "engine": record["engine"],
+    "host": host,
     "benchmarks": {
         name: {"ops_per_sec": entry["ops_per_sec"],
                "best_seconds": entry["best_seconds"]}

@@ -33,6 +33,7 @@ from repro.engine import engine_provenance
 from repro.core.pipomonitor import PiPoMonitor
 from repro.cpu.core import Core
 from repro.cpu.multicore import MulticoreSystem, SimulationResult
+from repro.obs.trace import span as _span
 from repro.utils.events import EventQueue
 from repro.utils.rng import derive_seed
 from repro.workloads.base import ScriptedWorkload, Workload
@@ -108,8 +109,10 @@ def run_workloads(
     batch: bool | None = None,
 ) -> SimulationResult:
     """Build and run in one call; returns the simulation result."""
-    system, monitor = build_system(config, workloads, seed=seed, batch=batch)
-    result = system.run(max_instructions_per_core=instructions_per_core)
+    with _span("assemble", "engine", seed=seed):
+        system, monitor = build_system(config, workloads, seed=seed, batch=batch)
+    with _span("simulate", "engine", seed=seed):
+        result = system.run(max_instructions_per_core=instructions_per_core)
     if monitor is not None:
         result.extra["filter_occupancy"] = monitor.filter.occupancy()
         result.extra["prefetch_delay"] = monitor.prefetch_delay
@@ -158,30 +161,36 @@ def run_defended_workloads(
             f"need exactly {config.num_cores} workloads, "
             f"got {len(workloads)}"
         )
-    events = EventQueue()
-    hierarchy = config.build_hierarchy(seed=seed)
-    monitor = build_defence(defence, config, events, seed=seed)
-    if monitor is not None:
-        monitor.attach(hierarchy)
-    bus = None
-    if detection is not None:
-        if monitor is None:
-            raise ValueError(
-                "detection requires a defence that publishes alarms "
-                "(defence='none' has no monitor on the hierarchy)"
-            )
-        bus = detection.attach_bus(monitor)
-    cores = [
-        Core(core_id, wl.generator(core_id, derive_seed(seed, seed_label, core_id)),
-             hierarchy)
-        for core_id, wl in enumerate(workloads)
-    ]
-    unit = None
-    if detection is not None:
-        unit = detection.deploy(bus, events, hierarchy, cores)
-    result = MulticoreSystem(hierarchy, cores, events, detection=unit).run(
-        max_instructions_per_core=instructions_per_core
-    )
+    # Engine-phase spans: assembly (hierarchy build + kernel
+    # compilation at core construction) vs. the simulated run.  The
+    # span() helper is a shared no-op unless a recorder is attached —
+    # one global load per call, twice per simulation, never per event.
+    with _span("assemble", "engine", defence=defence, seed=seed):
+        events = EventQueue()
+        hierarchy = config.build_hierarchy(seed=seed)
+        monitor = build_defence(defence, config, events, seed=seed)
+        if monitor is not None:
+            monitor.attach(hierarchy)
+        bus = None
+        if detection is not None:
+            if monitor is None:
+                raise ValueError(
+                    "detection requires a defence that publishes alarms "
+                    "(defence='none' has no monitor on the hierarchy)"
+                )
+            bus = detection.attach_bus(monitor)
+        cores = [
+            Core(core_id, wl.generator(core_id, derive_seed(seed, seed_label, core_id)),
+                 hierarchy)
+            for core_id, wl in enumerate(workloads)
+        ]
+        unit = None
+        if detection is not None:
+            unit = detection.deploy(bus, events, hierarchy, cores)
+    with _span("simulate", "engine", defence=defence, seed=seed):
+        result = MulticoreSystem(hierarchy, cores, events, detection=unit).run(
+            max_instructions_per_core=instructions_per_core
+        )
     # Engine provenance rides on every assembled run so fleet-level
     # aggregation can prove it never mixed engines (or see exactly
     # where a toolchain-less worker degraded c -> specialized).

@@ -171,28 +171,39 @@ def hierarchy_access(h):
     or the attached monitor changes; configurations the specializer
     does not support fall back to the generic method.
     """
+    from repro.obs.telemetry import current_telemetry
+
     cs = getattr(h, "_c_state", None)
     if cs is not None:
         # The C cache walk owns the storage (one-way install): its
         # kernel is the only consistent entry point whatever engine is
-        # now selected.  The monitor/bus configuration was baked in at
-        # install time and cannot be swapped under a live C state.
-        if (id(h.monitor), id(getattr(h.monitor, "alarms", None))) \
-                != cs.monitor_key:
+        # now selected.  The monitor/bus/telemetry configuration was
+        # baked in at install time and cannot be swapped under a live
+        # C state.
+        if (
+            id(h.monitor),
+            id(getattr(h.monitor, "alarms", None)),
+            id(current_telemetry()),
+        ) != cs.monitor_key:
             raise RuntimeError(
-                "monitor/alarm-bus changed after the C cache walk was "
-                "installed; attach monitors and buses before any core "
-                "binds its access kernel"
+                "monitor/alarm-bus/telemetry changed after the C cache "
+                "walk was installed; attach monitors, buses, and "
+                "telemetry sinks before any core binds its access kernel"
             )
         return cs.kernel
     name = engine_name()
     if name == "python":
         return h.access
-    # The alarm bus joins the cache key: its presence is resolved at
-    # kernel build time (publish instructions are baked in or omitted),
-    # so attaching/detaching a bus must invalidate the cached kernel
-    # just like swapping the monitor does.
-    key = (name, id(h.monitor), id(getattr(h.monitor, "alarms", None)))
+    # The alarm bus and the telemetry sink join the cache key: both are
+    # resolved at kernel build time (publish instructions are baked in
+    # or omitted), so attaching/detaching either must invalidate the
+    # cached kernel just like swapping the monitor does.
+    key = (
+        name,
+        id(h.monitor),
+        id(getattr(h.monitor, "alarms", None)),
+        id(current_telemetry()),
+    )
     if h._kernel is not None and h._kernel_key == key:
         return h._kernel
     if name == "c":

@@ -61,6 +61,21 @@ from repro.engine import c_backend
 from repro.engine.specialize import _supported, filter_supported
 from repro.memory.controller import MemoryController
 from repro.memory.dram import DramModel
+from repro.obs.telemetry import current_telemetry
+
+#: Aggregate counters the C walk exports to an attached telemetry sink
+#: — read off the ``cw_hier`` struct as deltas in **one** boundary
+#: crossing per batch / sync (PERFORMANCE.md rules 16/17), never per
+#: event.  Names align with the specialized kernel's hot-block slots
+#: (``specialize.KERNEL_COUNTER_NAMES``); ``filter_hits`` is not
+#: C-observable and simply stays absent under the C walk.
+_TELE_EXPORTS = (
+    "engine.llc_fills",
+    "engine.llc_evictions",
+    "engine.monitor_probes",
+    "engine.captures",
+    "engine.kick_steps",
+)
 
 _U64 = (1 << 64) - 1
 _EMPTY = 0xFFFFFFFFFFFFFFFF
@@ -201,8 +216,15 @@ class CWalkState:
 
         monitor = h.monitor
         self.monitor = monitor
+        # Telemetry follows the alarm-bus contract: the sink attached
+        # *now* (install time) is the one this walk exports to, its
+        # identity joins the install key, and attaching a different
+        # sink under a live C state is refused by ``hierarchy_access``.
+        self.telemetry = current_telemetry()
         self.monitor_key = (
-            id(monitor), id(getattr(monitor, "alarms", None))
+            id(monitor),
+            id(getattr(monitor, "alarms", None)),
+            id(self.telemetry),
         )
         kind, capture_cb, thresh, flt = self._classify(monitor)
         self.flt = flt
@@ -331,6 +353,11 @@ class CWalkState:
         # over a run); everything else is ffi-owned via _bufs.
         self._finalizer = weakref.finalize(self, lib.cw_hier_free, st)
 
+        # Telemetry baseline: the struct was seeded with the Python
+        # counters' current values, and only *deltas* from here on are
+        # this walk's contribution.
+        self._tele_last = self._tele_values()
+
         self._build_wrappers()
 
     # ------------------------------------------------------------------
@@ -403,10 +430,48 @@ class CWalkState:
                 _self._raise()
             return list(ffi.unpack(lat_out, n))
 
+        if self.telemetry is not None:
+            # One extra Python-side fold per *batch* — the C call
+            # count is unchanged, honouring the one-crossing rule.
+            base_many = access_many
+
+            def access_many(requests, now=0, _base=base_many, _self=self):
+                out = _base(requests, now)
+                _self._export_telemetry()
+                return out
+
         self.kernel = kernel
         self.clflush = clflush
         self.prefetch_fill = prefetch_fill
         self.access_many = access_many
+
+    def _tele_values(self) -> tuple[int, int, int, int, int]:
+        """Current struct-side values of the exported counters (one
+        cheap cffi read each; no C call)."""
+        st = self.st
+        kicks = (
+            st.acf.total_relocations if st.acf != self.ffi.NULL else 0
+        )
+        return (
+            st.s_llc_misses,
+            st.s_llc_evictions,
+            st.m_accesses,
+            st.m_captures,
+            kicks,
+        )
+
+    def _export_telemetry(self) -> None:
+        """Fold counter deltas since the last export into the sink."""
+        tele = self.telemetry
+        if tele is None:
+            return
+        current = self._tele_values()
+        for name, now_v, last_v in zip(
+            _TELE_EXPORTS, current, self._tele_last
+        ):
+            if now_v != last_v:
+                tele.count(name, now_v - last_v)
+        self._tele_last = current
 
     def _raise(self):
         """Re-raise the exact exception the generic engine would have."""
@@ -527,6 +592,9 @@ class CWalkState:
             flt.autonomic_deletions = acf.autonomic_deletions
             flt.total_relocations = acf.total_relocations
             flt._lcg = acf.lcg
+        # Scalar-kernel runs reach the sink here: sync is the batch
+        # boundary the introspection paths already pay for.
+        self._export_telemetry()
 
 
 #: AccessStats counter fields mirrored into ``cw_hier.s_*`` (order

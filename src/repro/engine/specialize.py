@@ -57,6 +57,7 @@ from repro.cache.line import (
     VERSION_SHIFT,
 )
 from repro.cache.llc import SLICE_MULT, U64_MASK
+from repro.obs.telemetry import current_telemetry
 
 _SMASK = (1 << SHARERS_BITS) - 1
 _SHARERS_FIELD = _SMASK << SHARERS_SHIFT
@@ -70,6 +71,22 @@ _LCG_INC = 1442695040888963407
 #: source → exec'd ``make_kernel`` factory (the spec is fully encoded
 #: in the source text, so the text is the cache key).
 _FACTORY_CACHE: dict[str, object] = {}
+
+#: Telemetry counters the access kernel can publish, in hot-block slot
+#: order (see ``Telemetry.kernel_counters``).  Baked into generated
+#: source **only** when a telemetry sink is attached at build time —
+#: the same build-time gating as the alarm bus (PERFORMANCE.md design
+#: rules 15/18) — so a detached build emits byte-identical source to a
+#: tree without the obs package.  Slots a monitor kind cannot observe
+#: (e.g. filter hits under a generic monitor) simply stay zero.
+KERNEL_COUNTER_NAMES = (
+    "engine.llc_fills",
+    "engine.llc_evictions",
+    "engine.monitor_probes",
+    "engine.filter_hits",
+    "engine.captures",
+    "engine.kick_steps",
+)
 
 
 def _ind(block: str, spaces: int) -> str:
@@ -204,7 +221,7 @@ else:
             f_csec, f_secrow[f_slot] = f_secrow[f_slot], f_csec
             if f_rel == $MNK:
                 flt.autonomic_deletions += 1
-                flt.total_relocations += f_rel
+                flt.total_relocations += f_rel$TKICKA
                 flt._lcg = f_st
                 break
             f_rel += 1
@@ -216,7 +233,7 @@ else:
             f_row[f_slot] = f_cfp
             security[f_kidx][f_slot] = f_csec
             flt.valid_count += 1
-            flt.total_relocations += f_rel
+            flt.total_relocations += f_rel$TKICKB
             flt._lcg = f_st
             break
 $FRESH
@@ -246,11 +263,17 @@ def build_filter_kernel(flt):
     # the authoritative state between the lists and the C arrays).
     flt._kernel_issued = True
     subs = filter_subs(flt)
+    # The standalone filter kernel carries no telemetry sites: its
+    # callers (the LSM sweeps, the batch layer) count at batch
+    # granularity, and the monitor-inline form in the access kernel
+    # is where the per-event counters live.
     body = _FILTER_BLOCK.substitute(
         subs,
         KEY="key",
         HIT=_ind("    return f_sec", 0),
         FRESH=_ind("    return 0", 0),
+        TKICKA="",
+        TKICKB="",
     )
     source = _FILTER_KERNEL_TEMPLATE.substitute(BODY=_ind(body, 8))
     factory = _FACTORY_CACHE.get(source)
@@ -342,7 +365,7 @@ if op == 1:
 _KERNEL_TEMPLATE = Template('''\
 from repro.cache.coherence import CoherenceViolation
 from repro.cache.line import CacheLine, CacheLineView
-
+$OBS_IMPORT
 
 def make_kernel(h, monitor):
     """Bind one hierarchy's state into the specialized access kernel."""
@@ -628,6 +651,29 @@ def build_access_kernel(h, engine: str = "specialized"):
     monitor = h.monitor
     kind = _monitor_kind(monitor, engine)
 
+    # Telemetry gating (PERFORMANCE.md design rule 18): resolved here,
+    # at build time, exactly like the alarm bus below.  With no sink
+    # attached every fragment substitutes to the empty string and the
+    # emitted source is byte-identical to the pre-observability
+    # kernels; with a sink attached the kernel binds a hot block (a
+    # plain list) and each site is one indexed ``+= 1``.  The sink's
+    # identity joins the kernel cache key in ``hierarchy_access``, so
+    # the two variants never alias.
+    tele = current_telemetry()
+    if tele is not None:
+        t_fill = "tele[0] += 1\n"
+        t_evict = "tele[1] += 1\n"
+        t_probe = "tele[2] += 1\n"
+        tele_bind = "    tele = _tele_current().kernel_counters(_TELE_NAMES)"
+        obs_import = (
+            "from repro.obs.telemetry import current_telemetry as _tele_current\n"
+            "from repro.engine.specialize import KERNEL_COUNTER_NAMES as _TELE_NAMES"
+        )
+    else:
+        t_fill = t_evict = t_probe = ""
+        tele_bind = ""
+        obs_import = ""
+
     slices = h._llc_slices
     slref = slices[0]
     subs = {
@@ -745,9 +791,13 @@ def build_access_kernel(h, engine: str = "specialized"):
         "    vword = victim.to_word()"
     )
     if kind == "none":
-        subs["ON_ACCESS"] = ""
+        subs["ON_ACCESS"] = _ind(t_fill.rstrip("\n"), 8) if tele is not None else ""
         subs["FILL_BASE"] = f"version << {VERSION_SHIFT}"
-        subs["EVICT_HOOK"] = _ind("pass", 12)
+        subs["EVICT_HOOK"] = _ind(
+            t_evict.rstrip("\n") if tele is not None else "pass", 12
+        )
+        if tele is not None:
+            prelude = tele_bind
     elif kind == "generic":
         # Capture publishing needs no baking here: the generic kind
         # calls the monitor's own ``on_access``, whose publish is the
@@ -756,14 +806,19 @@ def build_access_kernel(h, engine: str = "specialized"):
             "    mon_access = monitor.on_access\n"
             "    on_evict = monitor.on_llc_eviction"
         )
-        subs["ON_ACCESS"] = _ind("captured = mon_access(line_addr, t)", 8)
+        subs["ON_ACCESS"] = _ind(
+            t_fill + t_probe + "captured = mon_access(line_addr, t)"
+            + ("\ntele[4] += captured" if tele is not None else ""),
+            8,
+        )
         subs["FILL_BASE"] = f"(version << {VERSION_SHIFT}) | (6 if captured else 0)"
         needs_all = getattr(monitor, "needs_all_evictions", True)
         subs["EVICT_HOOK"] = _ind(
-            evict_gated
+            t_evict + evict_gated
             if not needs_all
             else (
-                "victim = from_packed(vaddr, vword, vstamp)\n"
+                t_evict
+                + "victim = from_packed(vaddr, vword, vstamp)\n"
                 "on_evict(victim, t)\n"
                 "vword = victim.to_word()"
             ),
@@ -782,18 +837,20 @@ def build_access_kernel(h, engine: str = "specialized"):
             prelude += "\n    publish = monitor.alarms.publish"
         thresh = monitor.filter.security_threshold
         on_access = (
+            t_fill + t_probe +
             "mstats.accesses += 1\n"
             f"if c_access(line_addr) >= {thresh}:\n"
             "    mstats.captures += 1\n"
             + ("    cap_lines.add(line_addr)\n" if track else "")
             + ("    publish(0, t, line_addr, -1, 0)\n" if bus is not None else "")
+            + ("    tele[4] += 1\n" if tele is not None else "")
             + "    captured = True\n"
             "else:\n"
             "    captured = False"
         )
         subs["ON_ACCESS"] = _ind(on_access, 8)
         subs["FILL_BASE"] = f"(version << {VERSION_SHIFT}) | (6 if captured else 0)"
-        subs["EVICT_HOOK"] = _ind(evict_gated, 12)
+        subs["EVICT_HOOK"] = _ind(t_evict + evict_gated, 12)
     else:  # pipo — full inline Query/kick-walk
         track = monitor.captured_lines is not None
         prelude = (
@@ -812,7 +869,8 @@ def build_access_kernel(h, engine: str = "specialized"):
             prelude += "\n    publish = monitor.alarms.publish"
         fsubs = filter_subs(monitor.filter)
         hit_tail = (
-            "    if f_sec >= {thresh}:\n"
+            ("    tele[3] += 1\n" if tele is not None else "")
+            + "    if f_sec >= {thresh}:\n"
             "        mstats.captures += 1\n"
             + ("        cap_lines.add(line_addr)\n" if track else "")
             + (
@@ -820,6 +878,7 @@ def build_access_kernel(h, engine: str = "specialized"):
                 if bus is not None
                 else ""
             )
+            + ("        tele[4] += 1\n" if tele is not None else "")
             + "        captured = True\n"
             "    else:\n"
             "        captured = False"
@@ -829,13 +888,23 @@ def build_access_kernel(h, engine: str = "specialized"):
             KEY="line_addr",
             HIT=hit_tail,
             FRESH="    captured = False",
+            TKICKA=(
+                "\n                tele[5] += f_rel" if tele is not None else ""
+            ),
+            TKICKB=(
+                "\n            tele[5] += f_rel" if tele is not None else ""
+            ),
         )
         subs["ON_ACCESS"] = _ind(
-            "mstats.accesses += 1\n" + filter_block.rstrip("\n"), 8
+            t_fill + t_probe + "mstats.accesses += 1\n"
+            + filter_block.rstrip("\n"), 8
         )
         subs["FILL_BASE"] = f"(version << {VERSION_SHIFT}) | (6 if captured else 0)"
-        subs["EVICT_HOOK"] = _ind(evict_gated, 12)
+        subs["EVICT_HOOK"] = _ind(t_evict + evict_gated, 12)
 
+    if tele is not None and kind != "none":
+        prelude += "\n" + tele_bind
+    subs["OBS_IMPORT"] = obs_import
     subs["PRELUDE"] = prelude
 
     source = _KERNEL_TEMPLATE.substitute(subs)

@@ -49,7 +49,15 @@ from repro.experiments.common import (
     scaled_mix_workloads,
     scaled_system_config,
 )
-from repro.experiments.parallel import resolve_jobs, run_stream
+from repro.experiments.parallel import (
+    failure_kinds,
+    resolve_jobs,
+    run_stream,
+    summarize_failures,
+)
+from repro.obs.progress import current_progress
+from repro.obs.telemetry import current_telemetry
+from repro.obs.trace import span as _span
 from repro.utils.rng import derive_rng, derive_seed
 from repro.utils.stats import QuantileSketch, RunningStat
 from repro.workloads.mixes import mix_names
@@ -212,6 +220,14 @@ def _run_tenant(profile: TenantProfile) -> dict:
     record["latency"] = detection["first_detection_latency"]
     record["cycles"] = simulation.max_time
     record["instructions"] = simulation.total_instructions
+    # Engine-degradation provenance rides back to the aggregator (the
+    # stamp is computed inside the worker, where the fallback actually
+    # happened) but is deliberately *excluded* from the digested
+    # aggregate state — a toolchain-less host must report its
+    # fallbacks without perturbing the bit-identity contract.
+    stamp = simulation.extra.get("engine") or {}
+    if stamp.get("fallback"):
+        record["fallback"] = stamp.get("reason") or "backend unavailable"
     return record
 
 
@@ -234,12 +250,21 @@ class CampaignAggregate:
         self.capacity = QuantileSketch(lo=1e-3, hi=1e4, bins=192)
         self.cycles = RunningStat()
         self.instructions = RunningStat()
+        #: Engine-fallback reasons seen by workers; provenance only —
+        #: excluded from :meth:`state` so digests stay engine-blind.
+        self.fallbacks: dict[str, int] = {}
 
     def update(self, index: int, record: dict) -> None:
         """Fold one tenant record (order matters: see class docs)."""
         self.tenants += 1
         kind = record["kind"]
         self.kinds[kind] = self.kinds.get(kind, 0) + 1
+        reason = record.get("fallback")
+        if reason:
+            self.fallbacks[reason] = self.fallbacks.get(reason, 0) + 1
+            progress = current_progress()
+            if progress is not None:
+                progress.note_fallback()
         self.cycles.add(float(record["cycles"]))
         self.instructions.add(float(record["instructions"]))
         if kind == "benign":
@@ -334,12 +359,20 @@ def run(
         for i in range(tenants)
     )
     aggregate = CampaignAggregate()
+    progress = current_progress()
+    if progress is not None:
+        # The campaign knows its stream length up front — pre-set the
+        # total so the line shows percentage/ETA from the first tenant
+        # (run_stream only grows unknown totals).
+        progress.set_total(tenants)
+        progress.unit = "tenants"
     started = time.perf_counter()
     kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
-    stats = run_stream(
-        profiles, _run_tenant, aggregate.update,
-        jobs=jobs, label="campaign", **kwargs,
-    )
+    with _span("campaign", "grid", tenants=tenants, seed=seed, jobs=jobs):
+        stats = run_stream(
+            profiles, _run_tenant, aggregate.update,
+            jobs=jobs, label="campaign", **kwargs,
+        )
     elapsed = time.perf_counter() - started
 
     result = ExperimentResult(
@@ -387,11 +420,32 @@ def run(
         f"{stats.total} tenants in {stats.chunks} chunk(s), "
         f"{len(stats.failures)} failure(s), jobs={jobs}"
     )
+    if stats.failures:
+        # End-of-run triage for REPRO_ON_FAILURE=partial: counts by
+        # kind, the first lost tenants, and the first worker
+        # traceback — a degraded fleet report names its losses.
+        for line in summarize_failures(stats.failures):
+            result.add_note(line)
+        for failure in stats.failures[:3]:
+            result.add_note(f"lost: {failure.summary()}")
+    if aggregate.fallbacks:
+        result.add_note(
+            "engine fallbacks: " + "; ".join(
+                f"{count} tenant(s): {reason}"
+                for reason, count in sorted(aggregate.fallbacks.items())
+            )
+        )
     if elapsed > 0 and stats.computed:
         result.add_note(
             f"throughput {stats.computed / elapsed:.2f} tenants/sec "
             f"({elapsed:.1f} s wall)"
         )
+        telemetry = current_telemetry()
+        if telemetry is not None:
+            telemetry.gauge(
+                "campaign.tenants_per_sec", stats.computed / elapsed
+            )
+            telemetry.gauge("campaign.wall_seconds", elapsed)
     result.add_note(f"aggregate digest {aggregate.digest()}")
 
     result.data["aggregate"] = aggregate.state()
@@ -402,7 +456,9 @@ def run(
         "loaded": stats.loaded,
         "chunks": stats.chunks,
         "failures": [f.summary() for f in stats.failures],
+        "failure_kinds": failure_kinds(stats.failures),
     }
+    result.data["fallbacks"] = dict(sorted(aggregate.fallbacks.items()))
     result.data["population"] = {
         "tenants": tenants,
         "seed": seed,

@@ -59,6 +59,9 @@ from collections.abc import Callable, Sequence
 from pathlib import Path
 from typing import Any
 
+from repro.obs.progress import current_progress
+from repro.obs.trace import span as _span
+
 _FORMAT_VERSION = 1
 
 
@@ -167,11 +170,15 @@ class GridCheckpoint:
                 OrphanShardWarning,
                 stacklevel=2,
             )
+            progress = current_progress()
+            if progress is not None:
+                progress.note_orphans()
         # Manifest first: every crash window between here and the
         # first record() leaves a layout open() can classify.
         atomic_write_json(self.manifest_path, manifest)
         if resume and self.path.exists():
-            self.loaded = self._load()
+            with _span("checkpoint.load", "checkpoint", shard=self.path.name):
+                self.loaded = self._load()
         else:
             # A fresh run never trusts stale bytes: truncate, so an
             # aborted earlier grid cannot leak half its results into

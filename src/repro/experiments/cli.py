@@ -8,6 +8,8 @@ Examples::
     repro-experiment fig10 --engine c
     repro-experiment fig9 --jobs 4 --checkpoint-dir .ckpt --resume
     repro-experiment campaign --tenants 100000 --jobs 0
+    repro-experiment campaign --tenants 5000 --jobs 2 --trace run.json
+    repro-experiment status --checkpoint-dir .ckpt
     repro-experiment list
     repro-experiment all
 
@@ -25,6 +27,16 @@ to their seed).  ``--cell-timeout`` / ``--retries`` / ``--on-failure``
 tune the supervisor; ``--checkpoint-dir`` streams completed cells to a
 digest-keyed shard and ``--resume`` replays only the missing ones
 after a kill.  See PERFORMANCE.md ("Fault-tolerance contract").
+
+Observability (:mod:`repro.obs`): ``--trace FILE`` attaches the run
+telemetry sink and the span recorder — workers ship spans and counter
+snapshots back over their result pipes — and writes a Chrome-trace /
+Perfetto JSON to FILE at the end (load it at https://ui.perfetto.dev).
+Results are bit-identical with and without ``--trace``.  A progress
+line renders on stderr whenever it is a terminal.  ``status
+--checkpoint-dir DIR`` reads the manifests and shards of a run — even
+one still in flight — and reports per-shard completion without
+touching the files.
 """
 
 from __future__ import annotations
@@ -178,9 +190,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="experiment id, 'all', or 'list' (print the scenario x "
-             "defence x engine matrix)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "status"],
+        help="experiment id, 'all', 'list' (print the scenario x "
+             "defence x engine matrix), or 'status' (report checkpoint "
+             "completion for a running or interrupted sweep)",
     )
     parser.add_argument(
         "--list-scenarios", action="store_true",
@@ -259,6 +272,15 @@ def main(argv: list[str] | None = None) -> int:
              "(sets REPRO_RESUME=1; requires --checkpoint-dir or "
              "REPRO_CHECKPOINT_DIR)",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="collect run observability — trace spans (grid -> chunk "
+             "-> cell -> attempt -> engine phase, across the worker "
+             "pool) and run telemetry counters — and write Chrome-"
+             "trace/Perfetto JSON to FILE.  Sets REPRO_TRACE/"
+             "REPRO_TELEMETRY for the workers; results are "
+             "bit-identical with and without it.",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 0:
         parser.error("--jobs must be >= 0")
@@ -293,6 +315,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.list_scenarios or args.experiment == "list":
         print(scenario_matrix_text())
         return 0
+    if args.experiment == "status":
+        from repro.obs.status import checkpoint_status, render_status
+
+        directory = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
+        if not directory:
+            parser.error(
+                "status needs --checkpoint-dir (or REPRO_CHECKPOINT_DIR) "
+                "— the same directory the run writes to"
+            )
+        print(render_status(checkpoint_status(directory)))
+        return 0
     if args.experiment is None:
         parser.error(
             "an experiment id is required (or --list-scenarios / 'list')"
@@ -301,27 +334,74 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine import set_engine
 
         set_engine(args.engine)
+
+    from repro.obs.progress import (
+        Progress,
+        attach_progress,
+        auto_stream,
+        detach_progress,
+    )
+
+    recorder = telemetry = None
+    if args.trace is not None:
+        from repro.obs.telemetry import TELEMETRY_ENV, Telemetry, attach_telemetry
+        from repro.obs.trace import TRACE_ENV, TraceRecorder, attach_recorder
+
+        # The env flags ride the supervisor's pinned REPRO_* contract
+        # into every worker (fork or respawned); the attached sinks
+        # receive the in-process spans plus the worker sidecars.
+        os.environ[TRACE_ENV] = "1"
+        os.environ[TELEMETRY_ENV] = "1"
+        recorder = attach_recorder(TraceRecorder())
+        recorder.process_name("supervisor")
+        telemetry = attach_telemetry(Telemetry())
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        started = time.time()
-        module = EXPERIMENTS[name]
-        kwargs = {"seed": args.seed, "full": args.full or None}
-        # Only the grid experiments fan out, and only the streaming
-        # campaign sizes a fleet; the rest (filter sweeps, attack
-        # timelines) are single simulations without these parameters.
-        accepted = inspect.signature(module.run).parameters
-        for name_, value in (
-            ("jobs", args.jobs),
-            ("tenants", args.tenants),
-            ("attack_fraction", args.attack_fraction),
-            ("chunk_size", args.chunk_size),
-            ("keys", args.keys),
-        ):
-            if value is not None and name_ in accepted:
-                kwargs[name_] = value
-        result = module.run(**kwargs)
-        print(result.to_text())
-        print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    try:
+        for name in names:
+            started = time.time()
+            module = EXPERIMENTS[name]
+            kwargs = {"seed": args.seed, "full": args.full or None}
+            # Only the grid experiments fan out, and only the streaming
+            # campaign sizes a fleet; the rest (filter sweeps, attack
+            # timelines) are single simulations without these parameters.
+            accepted = inspect.signature(module.run).parameters
+            for name_, value in (
+                ("jobs", args.jobs),
+                ("tenants", args.tenants),
+                ("attack_fraction", args.attack_fraction),
+                ("chunk_size", args.chunk_size),
+                ("keys", args.keys),
+            ):
+                if value is not None and name_ in accepted:
+                    kwargs[name_] = value
+            # One progress line per experiment; auto_stream() renders
+            # only on a terminal, so piped/CI output stays byte-clean.
+            progress = attach_progress(Progress(name, stream=auto_stream()))
+            try:
+                result = module.run(**kwargs)
+            finally:
+                progress.finish()
+                detach_progress()
+            print(result.to_text())
+            print(f"[{name} completed in {time.time() - started:.1f}s]\n")
+    finally:
+        # Write the trace even when an experiment failed mid-run: a
+        # partial timeline is exactly what a post-mortem needs.
+        if recorder is not None:
+            recorder.write(
+                args.trace,
+                telemetry.state() if telemetry is not None else None,
+            )
+            print(
+                f"[trace: {len(recorder.events)} span(s), "
+                f"{recorder.dropped} dropped sidecar(s) -> {args.trace}]"
+            )
+            if telemetry is not None:
+                lines = telemetry.summary_lines()
+                if lines:
+                    print("[telemetry]")
+                    print("\n".join(lines))
     return 0
 
 

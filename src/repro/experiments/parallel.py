@@ -102,6 +102,10 @@ from repro.experiments.checkpoint import (
     resume_enabled,
 )
 from repro.experiments.faults import FaultPlan
+from repro.obs import telemetry as _telemetry
+from repro.obs import trace as _trace
+from repro.obs.progress import current_progress
+from repro.obs.trace import span as _span
 
 Cell = TypeVar("Cell")
 
@@ -230,6 +234,35 @@ class CellFailure:
         )
 
 
+def failure_kinds(failures: Sequence["CellFailure"]) -> dict[str, int]:
+    """Count failures by kind (``exception``/``crash``/``hang``/
+    ``corrupt``), sorted by kind name."""
+    kinds: dict[str, int] = {}
+    for failure in failures:
+        kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+    return dict(sorted(kinds.items()))
+
+
+def summarize_failures(failures: Sequence["CellFailure"]) -> list[str]:
+    """The end-of-run triage block every failure report shares: counts
+    by kind plus the first captured worker traceback.  Used by
+    :class:`GridExecutionError` and by the ``partial``-policy summaries
+    (campaign notes, grid reports), so a fleet report and a raised
+    grid read identically."""
+    if not failures:
+        return []
+    kinds = failure_kinds(failures)
+    lines = [
+        "failures by kind: "
+        + ", ".join(f"{kind}={count}" for kind, count in kinds.items())
+    ]
+    tb = next((f.traceback for f in failures if f.traceback), "")
+    if tb:
+        lines.append("first worker traceback:")
+        lines.append(tb.rstrip())
+    return lines
+
+
 class GridExecutionError(RuntimeError):
     """A grid finished with cells that exhausted their retries."""
 
@@ -240,10 +273,7 @@ class GridExecutionError(RuntimeError):
             f"{len(failures)} of {total_cells} cells failed after retries:"
         ]
         lines.extend(f"  - {f.summary()}" for f in failures)
-        tb = next((f.traceback for f in failures if f.traceback), "")
-        if tb:
-            lines.append("first worker traceback:")
-            lines.append(tb.rstrip())
+        lines.extend(summarize_failures(failures))
         super().__init__("\n".join(lines))
 
 
@@ -317,15 +347,23 @@ def run_cells(
                 resume=resume_enabled(),
             )
             own_checkpoint = True
+    progress = current_progress()
+    if progress is not None and progress.total is None:
+        progress.set_total(len(cell_list))
     try:
-        if jobs <= 1 or len(cell_list) <= 1:
-            return _run_serial(
-                cell_list, fn, retries, on_failure, checkpoint
+        with _span(
+            "grid", "grid",
+            label=label or _auto_label(fn),
+            cells=len(cell_list), jobs=jobs,
+        ):
+            if jobs <= 1 or len(cell_list) <= 1:
+                return _run_serial(
+                    cell_list, fn, retries, on_failure, checkpoint
+                )
+            return _run_supervised(
+                cell_list, fn, jobs, timeout, retries, on_failure,
+                checkpoint, label or _auto_label(fn),
             )
-        return _run_supervised(
-            cell_list, fn, jobs, timeout, retries, on_failure, checkpoint,
-            label or _auto_label(fn),
-        )
     finally:
         if own_checkpoint and checkpoint is not None:
             checkpoint.close()
@@ -338,20 +376,31 @@ def run_cells(
 def _run_serial(cell_list, fn, retries, on_failure, checkpoint):
     from repro.engine import effective_engine
 
+    progress = current_progress()
     done: dict[int, Any] = dict(checkpoint.loaded) if checkpoint else {}
     out: list[Any] = []
     for index, cell in enumerate(cell_list):
         if index in done:
             out.append(done[index])
+            if progress is not None:
+                progress.advance(loaded=True)
             continue
         attempts = 0
         while True:
             attempts += 1
             try:
-                value = fn(cell)
+                # Serial spans run in-process on the attached recorder
+                # (no sidecar needed); attempt numbering matches the
+                # worker path's 0-based convention.
+                with _span("cell", "cell", index=index, attempt=attempts - 1):
+                    value = fn(cell)
             except Exception as exc:
                 if attempts <= retries:
+                    if progress is not None:
+                        progress.note_retry()
                     continue
+                if progress is not None:
+                    progress.note_failure()
                 failure = CellFailure(
                     index=index,
                     cell=repr(cell),
@@ -372,6 +421,8 @@ def _run_serial(cell_list, fn, retries, on_failure, checkpoint):
                 if checkpoint is not None:
                     checkpoint.record(index, attempts, value)
                 out.append(value)
+                if progress is not None:
+                    progress.advance()
                 break
     return out
 
@@ -385,18 +436,59 @@ def _run_serial(cell_list, fn, retries, on_failure, checkpoint):
 _OK_EXIT = 0
 
 
+def _observed_call(fn, cell, index: int, attempt: int, want_tele: bool):
+    """Run one cell under a fresh per-cell recorder (and telemetry
+    sink when ``REPRO_TELEMETRY`` is set), and return
+    ``(value, error, sidecar)`` where ``sidecar`` is the CRC-checked
+    ``(crc32, blob)`` obs blob the reply carries next to the payload.
+
+    The recorder/telemetry are created per cell, never inherited: a
+    fork worker shares the parent's module globals at spawn time, and
+    reusing the parent's (or a previous cell's) sinks would double-
+    count.  Spans are collected even when the cell raises — a retried
+    attempt still ships its attempt-tagged span for triage.
+    """
+    recorder = _trace.TraceRecorder()
+    telemetry = _telemetry.Telemetry() if want_tele else None
+    value = error = None
+    with _trace.recording(recorder):
+        ctx = (
+            _telemetry.attached(telemetry)
+            if telemetry is not None
+            else _trace.nullcontext()
+        )
+        with ctx:
+            with recorder.span("cell", "cell", index=index, attempt=attempt):
+                try:
+                    value = fn(cell)
+                except BaseException as exc:
+                    error = exc
+    sidecar: dict[str, Any] = {"spans": recorder.events}
+    if telemetry is not None:
+        sidecar["telemetry"] = telemetry.state()
+    blob = pickle.dumps(sidecar, protocol=pickle.HIGHEST_PROTOCOL)
+    return value, error, (zlib.crc32(blob), blob)
+
+
 def _worker_main(conn, fn, pinned: dict) -> None:
     """Worker loop: receive ``(index, attempt, cell)``, run, reply.
 
-    Replies are ``("ok", index, attempt, crc32, payload)`` with the
-    result explicitly pickled (the CRC is the end-to-end integrity
-    check) or ``("err", index, attempt, info)`` for a cell-function
-    exception — the wrapper that lets the failing cell's identity
-    survive the process boundary.  Injected faults (``REPRO_FAULTS``)
-    fire here, between task receipt and reply.
+    Replies are ``("ok", index, attempt, crc32, payload, obs)`` with
+    the result explicitly pickled (the CRC is the end-to-end integrity
+    check) or ``("err", index, attempt, info, obs)`` for a
+    cell-function exception — the wrapper that lets the failing cell's
+    identity survive the process boundary.  ``obs`` is ``None`` unless
+    ``REPRO_TRACE``/``REPRO_TELEMETRY`` is pinned, in which case it is
+    a ``(crc32, blob)`` sidecar of span/telemetry records with its own
+    integrity check — the supervisor drops a corrupt sidecar (and
+    counts the drop) without failing the cell.  Injected faults
+    (``REPRO_FAULTS``) fire here, between task receipt and reply.
     """
     os.environ.update(pinned)
     plan = FaultPlan.from_env()
+    want_spans = _trace.env_enabled()
+    want_tele = _telemetry.env_enabled()
+    observe = want_spans or want_tele
     while True:
         try:
             task = conn.recv()
@@ -405,26 +497,63 @@ def _worker_main(conn, fn, pinned: dict) -> None:
         if task is None:
             break
         index, attempt, cell = task
+        obs = None
         try:
             if plan is not None:
                 plan.inject_execution_faults(index, attempt)
-            value = fn(cell)
+            if observe:
+                value, error, obs = _observed_call(
+                    fn, cell, index, attempt, want_tele
+                )
+                if error is not None:
+                    raise error
+            else:
+                value = fn(cell)
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             crc = zlib.crc32(payload)
             if plan is not None:
                 payload = plan.maybe_corrupt(index, attempt, payload)
-            reply = ("ok", index, attempt, crc, payload)
+            reply = ("ok", index, attempt, crc, payload, obs)
         except BaseException as exc:
             reply = ("err", index, attempt, {
                 "error": f"{type(exc).__name__}: {exc}",
                 "traceback": traceback.format_exc(),
-            })
+            }, obs)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
             break
     conn.close()
     os._exit(_OK_EXIT)
+
+
+def _absorb_sidecar(obs) -> None:
+    """Fold a worker's obs sidecar into the attached in-process sinks.
+
+    CRC-checked like the result payload, but with the opposite failure
+    semantics: a corrupt sidecar is *dropped* (and counted on the
+    recorder) rather than failing the cell — observability must never
+    cost a result.
+    """
+    recorder = _trace.current_recorder()
+    telemetry = _telemetry.current_telemetry()
+    if obs is None or (recorder is None and telemetry is None):
+        return
+    try:
+        crc, blob = obs
+        if zlib.crc32(blob) != crc:
+            raise ValueError("obs sidecar failed its CRC-32 check")
+        sidecar = pickle.loads(blob)
+        spans = sidecar.get("spans")
+        tele_state = sidecar.get("telemetry")
+    except Exception:
+        if recorder is not None:
+            recorder.dropped += 1
+        return
+    if recorder is not None and spans:
+        recorder.extend(spans)
+    if telemetry is not None and tele_state:
+        telemetry.merge_state(tele_state)
 
 
 class _Worker:
@@ -536,6 +665,9 @@ def _run_supervised(
     pending: deque[int] = deque(
         i for i in range(total) if i not in results
     )
+    progress = current_progress()
+    if progress is not None and results:
+        progress.advance(len(results), loaded=True)
     if not pending:
         return [results[i] for i in range(total)]
 
@@ -547,7 +679,11 @@ def _run_supervised(
     def fail_attempt(index: int, kind: str, error: str, tb: str = "") -> None:
         if attempts[index] <= retries:
             pending.append(index)
+            if progress is not None:
+                progress.note_retry()
             return
+        if progress is not None:
+            progress.note_failure()
         failures[index] = CellFailure(
             index=index,
             cell=repr(cell_list[index]),
@@ -563,6 +699,8 @@ def _run_supervised(
         results[index] = value
         if checkpoint is not None:
             checkpoint.record(index, attempts[index], value)
+        if progress is not None:
+            progress.advance()
 
     try:
         while len(results) + len(failures) < total:
@@ -584,6 +722,11 @@ def _run_supervised(
                     pool.respawn(slot)
 
             busy = [w for w in workers if w.current is not None]
+            if progress is not None:
+                # The ≤0.5 s poll tick below doubles as the heartbeat
+                # cadence: the progress line keeps moving (ETA, busy
+                # workers) even while a long cell runs.
+                progress.heartbeat(len(busy), len(workers))
             if not busy:
                 continue
 
@@ -616,7 +759,8 @@ def _run_supervised(
                     continue
                 worker.current = None
                 if reply[0] == "ok":
-                    _, r_index, r_attempt, crc, payload = reply
+                    _, r_index, r_attempt, crc, payload, obs = reply
+                    _absorb_sidecar(obs)
                     if zlib.crc32(payload) != crc:
                         fail_attempt(
                             r_index, "corrupt",
@@ -633,7 +777,8 @@ def _run_supervised(
                         continue
                     complete(r_index, value)
                 else:
-                    _, r_index, r_attempt, info = reply
+                    _, r_index, r_attempt, info, obs = reply
+                    _absorb_sidecar(obs)
                     fail_attempt(
                         r_index, "exception", info["error"],
                         info["traceback"],
@@ -761,11 +906,17 @@ def run_stream(
     pool: _WorkerPool | None = None
     iterator = iter(cells)
     offset = 0
+    progress = current_progress()
+    # A runner that knows the stream length (the campaign) pre-sets
+    # the total; otherwise the line grows it chunk by chunk.
+    grow_total = progress is not None and progress.total is None
     try:
         while True:
             chunk = list(itertools.islice(iterator, chunk_size))
             if not chunk:
                 break
+            if grow_total:
+                progress.add_total(len(chunk))
             checkpoint = None
             if directory is not None:
                 checkpoint = GridCheckpoint(
@@ -773,17 +924,21 @@ def run_stream(
                     resume=resume,
                 )
             try:
-                if jobs <= 1:
-                    out = _run_serial(
-                        chunk, fn, retries, "partial", checkpoint
-                    )
-                else:
-                    if pool is None:
-                        pool = _WorkerPool(fn, jobs)
-                    out = _run_supervised(
-                        chunk, fn, jobs, timeout, retries, "partial",
-                        checkpoint, label, pool=pool,
-                    )
+                with _span(
+                    "chunk", "chunk",
+                    label=label, chunk=stats.chunks, cells=len(chunk),
+                ):
+                    if jobs <= 1:
+                        out = _run_serial(
+                            chunk, fn, retries, "partial", checkpoint
+                        )
+                    else:
+                        if pool is None:
+                            pool = _WorkerPool(fn, jobs)
+                        out = _run_supervised(
+                            chunk, fn, jobs, timeout, retries, "partial",
+                            checkpoint, label, pool=pool,
+                        )
                 if checkpoint is not None:
                     stats.loaded += checkpoint.loaded_count
                     stats.computed += checkpoint.computed_count

@@ -1,0 +1,49 @@
+"""Zero-overhead observability: telemetry, trace spans, live progress.
+
+The package follows the AlarmBus discipline (PERFORMANCE.md design
+rules 15 and 18): every instrument is opt-in, resolved at *build /
+install time*, and compiles to nothing when detached.  A simulation
+with no telemetry sink attached generates byte-identical kernel
+source to a tree without this package, and a traced run produces
+bit-identical result digests to an untraced one — observability reads
+the run, it never participates in it.
+
+Modules:
+
+``telemetry``
+    A registry of counters / gauges / streaming statistics
+    (:class:`~repro.utils.stats.RunningStat`) and quantile sketches
+    (:class:`~repro.utils.stats.QuantileSketch`).  Engine kernels bake
+    publish sites in only when a sink is attached; the C engine
+    exports aggregate counter deltas in one boundary crossing per
+    batch (rules 16/17).
+
+``trace``
+    Wall-clock spans across the execution stack (grid → chunk → cell
+    → attempt → engine phase), serialized as Chrome-trace / Perfetto
+    JSON.  Workers stream span records back over the existing result
+    pipes, CRC-checked like payloads.
+
+``progress``
+    A throttled, single-line live progress renderer fed by the worker
+    supervisor and the streaming campaign runner.
+
+``status``
+    Offline inspection of a (possibly mid-run) checkpoint directory —
+    the ``repro-experiment status`` subcommand.
+"""
+
+from repro.obs.telemetry import (  # noqa: F401
+    Telemetry,
+    attach_telemetry,
+    current_telemetry,
+    detach_telemetry,
+    telemetry_attached,
+)
+from repro.obs.trace import (  # noqa: F401
+    TraceRecorder,
+    attach_recorder,
+    current_recorder,
+    detach_recorder,
+    span,
+)

@@ -1,0 +1,200 @@
+"""Live single-line progress for grids and streaming campaigns.
+
+A :class:`Progress` instance owns one carriage-return-rewritten line
+on a terminal stream.  It is fed by the worker supervisor (per-cell
+completions, retries, worker heartbeats) and the streaming campaign
+runner (per-chunk totals, checkpoint loads, orphan shards), and
+renders throughput, ETA, and the fault-path counters that PR 6/8 made
+first-class: retries, engine fallbacks, failures, orphaned shards.
+
+Like every obs instrument it is opt-in: nothing renders unless the
+CLI attaches an instance (:func:`attach_progress`), so tests and
+piped runs stay byte-clean on stderr.  Rendering is throttled to
+``interval`` seconds and the supervisor's existing ≤0.5 s poll tick
+drives re-renders between completions, which is what keeps the ETA
+moving while a long cell runs.
+
+Progress is presentation only — it reads counts the harness already
+maintains and never feeds anything back into results or digests.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class Progress:
+    """Throttled one-line progress renderer.
+
+    ``total`` may be unknown (None): the line then shows a running
+    count without percentage or ETA.  ``stream=None`` disables
+    rendering entirely while still accumulating counts, which lets
+    tests assert on :meth:`line` without terminal side effects.
+    """
+
+    def __init__(
+        self,
+        label: str = "",
+        total: int | None = None,
+        unit: str = "cells",
+        stream=None,
+        interval: float = 0.5,
+    ) -> None:
+        self.label = label
+        self.total = total
+        self.unit = unit
+        self.stream = stream
+        self.interval = interval
+        self.done = 0
+        self.loaded = 0        # satisfied from checkpoint shards
+        self.retries = 0
+        self.failures = 0
+        self.fallbacks = 0
+        self.orphans = 0
+        self.busy = 0          # workers currently holding a cell
+        self.workers = 0       # pool size (0 == serial)
+        self._start = time.perf_counter()
+        self._last_render = 0.0
+        self._last_width = 0
+
+    # -- feeding -------------------------------------------------------
+
+    def set_total(self, total: int | None) -> None:
+        self.total = total
+
+    def add_total(self, n: int) -> None:
+        """Grow the known total (streaming runners learn it chunk by
+        chunk)."""
+        self.total = (self.total or 0) + n
+
+    def advance(self, n: int = 1, loaded: bool = False) -> None:
+        """Record ``n`` completed units; render if due."""
+        self.done += n
+        if loaded:
+            self.loaded += n
+        self.maybe_render()
+
+    def note_retry(self, n: int = 1) -> None:
+        self.retries += n
+        self.maybe_render()
+
+    def note_failure(self, n: int = 1) -> None:
+        self.failures += n
+        self.maybe_render()
+
+    def note_fallback(self, n: int = 1) -> None:
+        self.fallbacks += n
+
+    def note_orphans(self, n: int = 1) -> None:
+        self.orphans += n
+
+    def heartbeat(self, busy: int, workers: int) -> None:
+        """Supervisor tick: how many workers hold a cell right now."""
+        self.busy = busy
+        self.workers = workers
+        self.maybe_render()
+
+    # -- rendering -----------------------------------------------------
+
+    def line(self) -> str:
+        """The current progress line (pure; no terminal I/O)."""
+        elapsed = max(time.perf_counter() - self._start, 1e-9)
+        rate = self.done / elapsed
+        head = f"{self.label}: " if self.label else ""
+        if self.total:
+            pct = 100.0 * self.done / self.total
+            body = f"{self.done}/{self.total} {self.unit} ({pct:.0f}%)"
+            if rate > 0 and self.done < self.total:
+                eta = (self.total - self.done) / rate
+                body += f"  {rate:.1f}/s  eta {_fmt_eta(eta)}"
+            else:
+                body += f"  {rate:.1f}/s"
+        else:
+            body = f"{self.done} {self.unit}  {rate:.1f}/s"
+        if self.workers:
+            body += f"  [workers {self.busy}/{self.workers}]"
+        for name, value in (
+            ("loaded", self.loaded),
+            ("retries", self.retries),
+            ("fallbacks", self.fallbacks),
+            ("failures", self.failures),
+            ("orphan-shards", self.orphans),
+        ):
+            if value:
+                body += f"  {name} {value}"
+        return head + body
+
+    def maybe_render(self) -> None:
+        """Rewrite the line if the throttle interval has elapsed."""
+        if self.stream is None:
+            return
+        now = time.perf_counter()
+        if now - self._last_render < self.interval:
+            return
+        self._render(now)
+
+    def _render(self, now: float) -> None:
+        text = self.line()
+        pad = " " * max(self._last_width - len(text), 0)
+        try:
+            self.stream.write("\r" + text + pad)
+            self.stream.flush()
+        except (OSError, ValueError):
+            self.stream = None  # stream went away; stop rendering
+            return
+        self._last_width = len(text)
+        self._last_render = now
+
+    def finish(self) -> None:
+        """Force a final render and move off the line."""
+        if self.stream is None:
+            return
+        self._render(time.perf_counter())
+        try:
+            self.stream.write("\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+
+
+def _fmt_eta(seconds: float) -> str:
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{(seconds % 3600) // 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+# ----------------------------------------------------------------------
+# Process-wide progress line (the CLI attaches; the harness feeds)
+# ----------------------------------------------------------------------
+
+_progress: Progress | None = None
+
+
+def attach_progress(progress: Progress) -> Progress:
+    global _progress
+    _progress = progress
+    return progress
+
+
+def detach_progress() -> Progress | None:
+    global _progress
+    previous, _progress = _progress, None
+    return previous
+
+
+def current_progress() -> Progress | None:
+    return _progress
+
+
+def auto_stream():
+    """The stream a CLI-attached progress line should render to: the
+    real stderr when it is a terminal, else None (no rendering)."""
+    stream = sys.stderr
+    try:
+        if stream.isatty():
+            return stream
+    except (AttributeError, ValueError):
+        pass
+    return None

@@ -1,0 +1,152 @@
+"""Offline checkpoint-directory inspection: ``repro-experiment status``.
+
+A long fan-out (a ``REPRO_FULL`` grid, a streaming campaign) leaves a
+live audit trail in its checkpoint directory: one manifest per grid
+(or per campaign chunk) naming the label, engine, and cell count, and
+one JSONL shard accumulating a line per completed cell.  This module
+reads that trail *without* touching it — manifests are parsed, shard
+lines are counted (decodable lines only, matching the loader's
+replay rule), and nothing is ever written — so ``status`` is safe to
+run against the checkpoint directory of a run that is still in
+flight, from a different terminal, at any moment.
+
+The report is per-shard completion plus a directory-level rollup:
+total cells, done cells, undecodable (in-flight or truncated) lines,
+and the age of the most recent shard append — the "is it still
+making progress?" question answered from disk alone.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+MANIFEST_SUFFIX = ".manifest.json"
+
+
+@dataclass
+class ShardStatus:
+    """Completion state of one grid/chunk shard."""
+
+    stem: str
+    label: str
+    engine: str
+    cells: int
+    done: int
+    partial_lines: int      # undecodable lines (at most a truncated tail)
+    mtime: float | None     # last shard append, None when no shard yet
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.cells
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.done / self.cells if self.cells else 100.0
+
+
+def _count_shard_lines(path: Path) -> tuple[int, int]:
+    """(decodable, undecodable) line counts for one shard.
+
+    Counting mirrors ``GridCheckpoint._load``'s replay rule — a line
+    counts as done when it parses as JSON with an integer ``"i"`` —
+    minus the unpickling, so status never imports experiment code and
+    never executes payload bytes.
+    """
+    done = partial = 0
+    try:
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    partial += 1
+                    continue
+                if isinstance(record, dict) and isinstance(record.get("i"), int):
+                    done += 1
+                else:
+                    partial += 1
+    except OSError:
+        return 0, 0
+    return done, partial
+
+
+def checkpoint_status(directory: str | Path) -> list[ShardStatus]:
+    """Read every manifest (+ shard) in ``directory``; sorted by stem.
+
+    A manifest without a shard reports 0 done (the grid checkpointed
+    nothing yet); a shard without a manifest is skipped — the running
+    process reconciles orphans itself, and status guessing at labels
+    would just be noise.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"no checkpoint directory at {directory} (pass the same "
+            "--checkpoint-dir the run uses)"
+        )
+    rows: list[ShardStatus] = []
+    for manifest_path in sorted(directory.glob(f"*{MANIFEST_SUFFIX}")):
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(manifest, dict):
+            continue
+        stem = manifest_path.name[: -len(MANIFEST_SUFFIX)]
+        shard = directory / f"{stem}.jsonl"
+        done, partial = _count_shard_lines(shard)
+        try:
+            mtime = shard.stat().st_mtime
+        except OSError:
+            mtime = None
+        rows.append(ShardStatus(
+            stem=stem,
+            label=str(manifest.get("label", "?")),
+            engine=str(manifest.get("engine", "?")),
+            cells=int(manifest.get("cells", 0)),
+            done=done,
+            partial_lines=partial,
+            mtime=mtime,
+        ))
+    return rows
+
+
+def render_status(rows: list[ShardStatus], now: float | None = None) -> str:
+    """Human-readable status report (pure string; caller prints)."""
+    if not rows:
+        return "no checkpoint manifests found"
+    if now is None:
+        now = time.time()
+    width = max(len(r.stem) for r in rows)
+    lines = [
+        f"{'shard'.ljust(width)}  {'engine':>11}  {'done':>13}  {'%':>5}"
+    ]
+    total_cells = total_done = total_partial = 0
+    newest: float | None = None
+    for row in rows:
+        total_cells += row.cells
+        total_done += row.done
+        total_partial += row.partial_lines
+        if row.mtime is not None:
+            newest = row.mtime if newest is None else max(newest, row.mtime)
+        lines.append(
+            f"{row.stem.ljust(width)}  {row.engine:>11}  "
+            f"{row.done:>6}/{row.cells:<6}  {row.percent:>4.0f}%"
+        )
+    pct = 100.0 * total_done / total_cells if total_cells else 100.0
+    summary = (
+        f"total: {total_done}/{total_cells} cells ({pct:.0f}%) "
+        f"across {len(rows)} shard(s)"
+    )
+    if total_partial:
+        summary += f", {total_partial} in-flight/truncated line(s)"
+    if newest is not None:
+        summary += f"; last append {max(now - newest, 0.0):.0f}s ago"
+    lines.append(summary)
+    return "\n".join(lines)

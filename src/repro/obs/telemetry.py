@@ -1,0 +1,246 @@
+"""Structured run telemetry: counters, gauges, streaming statistics.
+
+A :class:`Telemetry` instance is a passive registry.  Nothing in the
+simulator publishes to it unless it is *attached* as the process-wide
+sink (:func:`attach_telemetry`), and — following the AlarmBus pattern
+of PERFORMANCE.md design rule 15 — hot-path publish sites are resolved
+when kernels are **built**, not when they run:
+
+* the specializing engine bakes counter-increment statements into the
+  generated source only when a sink is attached at build time (the
+  sink's identity joins the kernel cache key, so attach/detach can
+  never alias a cached kernel built under the other regime);
+* the C engine never calls back per event — install-time wrappers
+  export aggregate counter deltas (probes, kick-walk relocations,
+  fills, evictions) in one boundary crossing per batch (rules 16/17);
+* everything else (experiment harness, worker supervisor, campaign
+  runner) checks :func:`current_telemetry` at call sites that run at
+  most once per cell or chunk.
+
+With no sink attached every one of those paths compiles or branches
+to the exact pre-observability behaviour: byte-identical kernel
+source, zero extra instructions on the hot path.
+
+Telemetry is wall-clock-free and deterministic per cell: the same
+simulation publishes the same counts whether it runs serially or in a
+fork worker, which is what lets the supervisor *merge* worker-side
+snapshots (:meth:`Telemetry.merge_state`) into a fleet-wide view
+without perturbing any result digest.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.utils.stats import QuantileSketch, RunningStat
+
+#: Default geometry for duration-like sketches (microseconds up to
+#: ~17 minutes); chosen once so worker-side sketches always merge.
+SKETCH_LO = 1.0
+SKETCH_HI = 1e9
+SKETCH_BINS = 384
+
+
+class Telemetry:
+    """Registry of named counters, gauges, and streaming statistics.
+
+    Counters are monotonically increasing ints; gauges are
+    last-write-wins floats; ``stats`` are Welford accumulators
+    (:class:`RunningStat`); ``sketches`` are fixed-geometry
+    :class:`QuantileSketch` log-histograms.  Kernel-published counters
+    live in *hot blocks* — plain lists handed to generated kernels so
+    an increment is a single indexed ``+= 1`` with no dict lookup or
+    attribute chase — and are folded into the named counters whenever
+    a snapshot is taken.
+    """
+
+    __slots__ = ("counters", "gauges", "stats", "sketches", "_blocks")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.stats: dict[str, RunningStat] = {}
+        self.sketches: dict[str, QuantileSketch] = {}
+        self._blocks: list[tuple[tuple[str, ...], list[int]]] = []
+
+    # -- publishing ----------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the :class:`RunningStat` named ``name``."""
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = RunningStat()
+        stat.add(value)
+
+    def observe_quantile(self, name: str, value: float) -> None:
+        """Fold ``value`` into the sketch named ``name`` (shared
+        default geometry so snapshots from any process merge)."""
+        sketch = self.sketches.get(name)
+        if sketch is None:
+            sketch = self.sketches[name] = QuantileSketch(
+                lo=SKETCH_LO, hi=SKETCH_HI, bins=SKETCH_BINS
+            )
+        sketch.add(value)
+
+    def kernel_counters(self, names: tuple[str, ...]) -> list[int]:
+        """Return a hot block — a list of zeros, one slot per name.
+
+        Generated kernels bind the list and bump slots by index; the
+        registry folds the slots into the named counters at snapshot
+        time.  Each call returns a fresh block (one per built kernel),
+        so concurrent kernels never contend on a shared slot.
+        """
+        block = [0] * len(names)
+        self._blocks.append((tuple(names), block))
+        return block
+
+    # -- snapshots -----------------------------------------------------
+
+    def _fold_blocks(self) -> None:
+        """Drain every hot block into the named counters."""
+        for names, block in self._blocks:
+            for i, name in enumerate(names):
+                if block[i]:
+                    self.counters[name] = self.counters.get(name, 0) + block[i]
+                    block[i] = 0
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 when never published)."""
+        self._fold_blocks()
+        return self.counters.get(name, 0)
+
+    def state(self) -> dict:
+        """Canonical (JSON-safe, key-sorted) snapshot of everything.
+
+        Deterministic for a deterministic run: no timestamps, no ids,
+        no provenance — safe to diff across engines and across
+        serial/parallel executions of the same cells.
+        """
+        self._fold_blocks()
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "stats": {k: self.stats[k].state() for k in sorted(self.stats)},
+            "sketches": {
+                k: self.sketches[k].state() for k in sorted(self.sketches)
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`state` snapshot (e.g. shipped back from a
+        fork worker) into this registry.  Counters and distributions
+        add; gauges are last-write-wins."""
+        self._fold_blocks()
+        for name, n in state.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        self.gauges.update(state.get("gauges", {}))
+        for name, sub in state.get("stats", {}).items():
+            stat = self.stats.get(name)
+            if stat is None:
+                self.stats[name] = RunningStat.from_state(sub)
+            else:
+                stat.merge(RunningStat.from_state(sub))
+        for name, sub in state.get("sketches", {}).items():
+            sketch = self.sketches.get(name)
+            if sketch is None:
+                self.sketches[name] = QuantileSketch.from_state(sub)
+            else:
+                sketch.merge(QuantileSketch.from_state(sub))
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable one-line-per-instrument rendering."""
+        self._fold_blocks()
+        lines = [
+            f"  {name} = {self.counters[name]:,}"
+            for name in sorted(self.counters)
+        ]
+        lines += [
+            f"  {name} = {self.gauges[name]:g}"
+            for name in sorted(self.gauges)
+        ]
+        for name in sorted(self.stats):
+            stat = self.stats[name]
+            lines.append(
+                f"  {name}: n={stat.count} mean={stat.mean:.4g} "
+                f"min={stat.minimum:.4g} max={stat.maximum:.4g}"
+            )
+        for name in sorted(self.sketches):
+            sketch = self.sketches[name]
+            p50 = sketch.quantile(0.5)
+            p99 = sketch.quantile(0.99)
+            lines.append(
+                f"  {name}: n={sketch.count} "
+                f"p50={p50 if p50 is None else format(p50, '.4g')} "
+                f"p99={p99 if p99 is None else format(p99, '.4g')}"
+            )
+        return lines
+
+
+# ----------------------------------------------------------------------
+# Process-wide sink (the AlarmBus-style attach point)
+# ----------------------------------------------------------------------
+
+_current: Telemetry | None = None
+
+
+def attach_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the process-wide sink and return it.
+
+    Kernels built *after* this point bake publish sites in; kernels
+    built before it stay silent (and stay cached — the sink identity
+    is part of the kernel cache key, so both versions coexist).
+    """
+    global _current
+    _current = telemetry
+    return telemetry
+
+
+def detach_telemetry() -> Telemetry | None:
+    """Remove the process-wide sink (kernels built afterwards are
+    byte-identical to a tree without the obs package)."""
+    global _current
+    previous, _current = _current, None
+    return previous
+
+
+def current_telemetry() -> Telemetry | None:
+    """The attached sink, or None.  Publish sites resolved at build /
+    install time capture this once; per-cell sites call it directly."""
+    return _current
+
+
+def telemetry_attached() -> bool:
+    return _current is not None
+
+
+@contextmanager
+def attached(telemetry: Telemetry):
+    """Attach ``telemetry`` for the duration of a ``with`` block,
+    restoring whatever sink (or absence) preceded it."""
+    global _current
+    previous = _current
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous
+
+
+#: Env flag telling fork workers to collect per-cell telemetry and
+#: ship snapshots back over the result pipe.  Named ``REPRO_*`` so the
+#: supervisor's pinned-environment contract propagates it verbatim.
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+
+def env_enabled() -> bool:
+    """Whether the worker-side collection flag is set."""
+    return os.environ.get(TELEMETRY_ENV, "") not in ("", "0")

@@ -135,6 +135,24 @@ class RunningStat:
             "max": self.maximum if self.count else None,
         }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "RunningStat":
+        """Rebuild an accumulator from a :meth:`state` dict.
+
+        Round-trips bit-exactly: ``RunningStat.from_state(s.state())``
+        merges and serializes identically to ``s`` — the property the
+        observability layer relies on when worker processes ship their
+        telemetry back to the supervisor as plain dicts.
+        """
+        stat = cls()
+        stat.count = int(state["count"])
+        stat._mean = float(state["mean"])
+        stat._m2 = float(state["m2"])
+        if stat.count:
+            stat.minimum = float(state["min"])
+            stat.maximum = float(state["max"])
+        return stat
+
     def __repr__(self) -> str:
         return (
             f"RunningStat(count={self.count}, mean={self.mean:.4g}, "
@@ -240,3 +258,15 @@ class QuantileSketch:
                 for index in sorted(self._counts)
             },
         }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantileSketch":
+        """Rebuild a sketch from a :meth:`state` dict (bit-exact
+        round-trip, mergeable into sketches of the same geometry)."""
+        sketch = cls(lo=state["lo"], hi=state["hi"], bins=state["bins"])
+        sketch.count = int(state["count"])
+        sketch.underflow = int(state["underflow"])
+        sketch._counts = {
+            int(index): int(n) for index, n in state["counts"].items()
+        }
+        return sketch

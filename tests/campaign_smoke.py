@@ -11,9 +11,16 @@ tier-1 but still minutes-scale:
 4. the resumed digest must equal the reference **bit-exactly**, with
    at least one tenant loaded from the shards.
 
+With ``--trace FILE`` an extra leg runs between the reference and the
+faulted sweep: the same campaign with the trace recorder and telemetry
+sink attached (workers streaming span/counter sidecars back over the
+result pipes).  Its aggregate digest must equal the untraced reference
+bit-exactly — observability that changes results is a bug, full stop —
+and the written file must validate as a Chrome-trace JSON object.
+
 Standalone (not a pytest module) so the CI job can run it directly:
 
-    python tests/campaign_smoke.py --tenants 200 --jobs 2
+    python tests/campaign_smoke.py --tenants 200 --jobs 2 --trace out.json
 """
 
 from __future__ import annotations
@@ -53,16 +60,92 @@ print("FAILURES", len(r.data["stream"]["failures"]))
 """
 
 
+def _traced_leg(args, expected: str) -> bool:
+    """Rerun the reference campaign with the full observability stack
+    attached and prove it is invisible: bit-identical digest, valid
+    Chrome-trace file, zero dropped sidecars."""
+    import json
+
+    from repro.experiments.campaign import run
+    from repro.obs.telemetry import (
+        TELEMETRY_ENV,
+        Telemetry,
+        attach_telemetry,
+        detach_telemetry,
+    )
+    from repro.obs.trace import (
+        TRACE_ENV,
+        TraceRecorder,
+        attach_recorder,
+        detach_recorder,
+        validate_chrome_trace,
+    )
+
+    os.environ[TRACE_ENV] = "1"
+    os.environ[TELEMETRY_ENV] = "1"
+    recorder = attach_recorder(TraceRecorder())
+    recorder.process_name("campaign-smoke")
+    telemetry = attach_telemetry(Telemetry())
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            traced = run(
+                seed=args.seed, tenants=args.tenants, jobs=args.jobs,
+                chunk_size=25, **BUDGETS,
+            )
+    finally:
+        detach_recorder()
+        detach_telemetry()
+        os.environ.pop(TRACE_ENV, None)
+        os.environ.pop(TELEMETRY_ENV, None)
+
+    recorder.write(args.trace, telemetry.state())
+    with open(args.trace) as fh:
+        problems = validate_chrome_trace(json.load(fh))
+    digest = traced.data["aggregate_digest"]
+    spans = len(recorder.events)
+    print(
+        f"      traced digest {digest}; {spans} span(s), "
+        f"{recorder.dropped} dropped sidecar(s) -> {args.trace}"
+    )
+    if problems:
+        print("FAIL: trace file is not valid Chrome-trace JSON:")
+        for problem in problems[:10]:
+            print(f"  {problem}")
+        return False
+    if spans <= args.tenants:
+        # One span per tenant cell at minimum, plus chunk/campaign
+        # spans: far fewer means worker sidecars never streamed back.
+        print(f"FAIL: only {spans} span(s) for {args.tenants} tenants")
+        return False
+    if recorder.dropped:
+        print(f"FAIL: {recorder.dropped} sidecar(s) failed integrity checks")
+        return False
+    if digest != expected:
+        print(
+            "FAIL: tracing changed the aggregate digest\n"
+            f"  untraced {expected}\n  traced   {digest}"
+        )
+        return False
+    return True
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tenants", type=int, default=200)
     parser.add_argument("--jobs", type=int, default=2)
     parser.add_argument("--seed", type=int, default=8)
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="also run a traced leg and write its Chrome-trace JSON "
+             "here; the traced digest must equal the reference",
+    )
     args = parser.parse_args()
 
     from repro.experiments.campaign import run
 
-    print(f"[1/3] reference: {args.tenants} tenants, uninterrupted")
+    legs = 4 if args.trace else 3
+    print(f"[1/{legs}] reference: {args.tenants} tenants, uninterrupted")
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")
         reference = run(
@@ -71,6 +154,11 @@ def main() -> int:
         )
     expected = reference.data["aggregate_digest"]
     print(f"      digest {expected}")
+
+    if args.trace:
+        print(f"[2/{legs}] traced: spans + telemetry on, digest must not move")
+        if not _traced_leg(args, expected):
+            return 1
 
     script = _campaign_script(args.tenants, args.jobs, args.seed)
     with tempfile.TemporaryDirectory(prefix="campaign-smoke-") as ckpt:
@@ -84,7 +172,7 @@ def main() -> int:
             "REPRO_CELL_TIMEOUT": "10",
             "REPRO_RETRIES": "6",
         }
-        print("[2/3] faulted run, SIGKILL mid-sweep")
+        print(f"[{legs - 1}/{legs}] faulted run, SIGKILL mid-sweep")
         proc = subprocess.Popen(
             [sys.executable, "-c", script], env=env,
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
@@ -111,7 +199,7 @@ def main() -> int:
             return 1
         print(f"      killed with >= {shard} tenants checkpointed")
 
-        print("[3/3] resume (faults still injected)")
+        print(f"[{legs}/{legs}] resume (faults still injected)")
         out = subprocess.run(
             [sys.executable, "-c", script], env=env,
             capture_output=True, text=True, timeout=1800,

@@ -751,3 +751,84 @@ def test_provenance_scrubbed_from_conformance_digests():
         "engine": "top-level too",
     })
     assert payload == {"simulation": {"extra": {"x": 1}}}
+
+
+# ---------------------------------------------------------------------------
+# Observability under faults: span streams from crashed and retried
+# workers must stay well-formed, attempt-tagged, and digest-neutral.
+# ---------------------------------------------------------------------------
+
+def _run_traced_with_faults(monkeypatch, spec, *, seed="5", **kwargs):
+    from repro.obs.trace import (
+        TraceRecorder,
+        attach_recorder,
+        detach_recorder,
+    )
+
+    monkeypatch.setenv("REPRO_FAULTS", spec)
+    monkeypatch.setenv("REPRO_FAULT_SEED", seed)
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    recorder = attach_recorder(TraceRecorder())
+    try:
+        out = run_cells(CELLS, _mix_cell, jobs=JOBS, **kwargs)
+    finally:
+        detach_recorder()
+    return out, recorder
+
+
+def test_spans_from_crashed_and_retried_workers(monkeypatch):
+    from repro.obs.trace import validate_chrome_trace
+
+    out, recorder = _run_traced_with_faults(
+        monkeypatch, "crash:0.4", retries=6
+    )
+    # The grid still converges to the serial answer; observability
+    # never alters results, even across worker deaths.
+    assert out == SERIAL
+    assert validate_chrome_trace(recorder.chrome_trace()) == []
+    cell_spans = [e for e in recorder.events if e["name"] == "cell"]
+    # One *surviving* span per cell: a worker killed mid-cell takes
+    # its sidecar with it (the span dies with the process), and the
+    # retry produces a fresh one.
+    assert len(cell_spans) == len(CELLS)
+    attempts = [e["args"]["attempt"] for e in cell_spans]
+    assert all(isinstance(a, int) and a >= 0 for a in attempts)
+    # crash:0.4 over 10 cells at seed 5 guarantees retries happened,
+    # and the spans must say so: the surviving span for a crashed
+    # cell carries the attempt index it finally succeeded on.
+    assert max(attempts) >= 1
+    indices = sorted(e["args"]["index"] for e in cell_spans)
+    assert indices == [cell[0] for cell in CELLS]
+
+
+def test_spans_from_corrupt_payload_retries(monkeypatch):
+    out, recorder = _run_traced_with_faults(
+        monkeypatch, "corrupt:0.4", retries=6
+    )
+    assert out == SERIAL
+    cell_spans = [e for e in recorder.events if e["name"] == "cell"]
+    # A corrupted *payload* (unlike a crash) leaves the worker alive
+    # and the sidecar intact — its CRC is separate — so the failed
+    # attempt's spans still stream back: cells can carry *multiple*
+    # spans, one per attempt, each distinctly tagged.
+    assert len(cell_spans) >= len(CELLS)
+    by_index: dict[int, set[int]] = {}
+    for event in cell_spans:
+        by_index.setdefault(event["args"]["index"], set()).add(
+            event["args"]["attempt"]
+        )
+    assert set(by_index) == {cell[0] for cell in CELLS}
+    for attempts in by_index.values():
+        # Attempts for a cell are dense from 0: no gaps, no dupes.
+        assert attempts == set(range(len(attempts)))
+    assert any(len(attempts) > 1 for attempts in by_index.values())
+
+
+def test_traced_run_digest_matches_untraced(monkeypatch):
+    # The acceptance bar stated directly: faults + tracing + fan-out
+    # produce bit-identical results to the plain serial run.
+    out, recorder = _run_traced_with_faults(
+        monkeypatch, "crash:0.3", retries=6
+    )
+    assert out == SERIAL
+    assert recorder.dropped == 0
